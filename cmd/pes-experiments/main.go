@@ -1,0 +1,87 @@
+// Command pes-experiments regenerates the tables and figures of the paper's
+// evaluation section and prints them as plain-text tables.
+//
+// Usage:
+//
+//	pes-experiments                 # run everything (Fig. 2–14, overheads, ablations)
+//	pes-experiments -fig fig11      # run a single experiment
+//	pes-experiments -traces 5       # more evaluation traces per application
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment to run (fig2, fig3, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, overhead, ablation, tx2, all)")
+	traces := flag.Int("traces", 3, "evaluation traces per application")
+	train := flag.Int("train", 8, "training traces per seen application")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.EvalTracesPerApp = *traces
+	cfg.TrainTracesPerApp = *train
+	cfg.Seed = *seed
+
+	setup, err := experiments.NewSetup(cfg)
+	if err != nil {
+		log.Fatalf("pes-experiments: %v", err)
+	}
+
+	var tables []*experiments.Table
+	switch strings.ToLower(*fig) {
+	case "all":
+		tables, err = setup.All()
+	case "fig2":
+		tables, err = one(setup.Fig2())
+	case "fig3":
+		tables, err = one(setup.Fig3())
+	case "table1":
+		tables, err = one(setup.Table1())
+	case "fig8":
+		tables, err = one(setup.Fig8())
+	case "fig9":
+		tables, err = one(setup.Fig9())
+	case "fig10":
+		tables, err = one(setup.Fig10())
+	case "fig11":
+		tables, err = one(setup.Fig11())
+	case "fig12":
+		tables, err = one(setup.Fig12())
+	case "fig13":
+		tables, err = one(setup.Fig13())
+	case "fig14":
+		tables, err = one(setup.Fig14(nil))
+	case "overhead", "sec6.3":
+		tables, err = one(setup.OverheadTable())
+	case "ablation", "nodom":
+		tables, err = one(setup.AblationNoDOM())
+	case "tx2", "otherdevice":
+		tables, err = one(setup.OtherDeviceTX2())
+	default:
+		log.Fatalf("pes-experiments: unknown experiment %q", *fig)
+	}
+	if err != nil {
+		log.Fatalf("pes-experiments: %v", err)
+	}
+	for _, t := range tables {
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatalf("pes-experiments: %v", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "completed %d experiment(s)\n", len(tables))
+}
+
+func one(t *experiments.Table, err error) ([]*experiments.Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*experiments.Table{t}, nil
+}

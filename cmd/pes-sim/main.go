@@ -1,0 +1,78 @@
+// Command pes-sim simulates one synthetic user session of one application
+// under a chosen scheduler and prints per-event and aggregate results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/acmp"
+	"repro/internal/core"
+	"repro/internal/predictor"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/webapp"
+)
+
+func main() {
+	app := flag.String("app", "cnn", "application name (see pes-trace -list)")
+	seed := flag.Int64("seed", 42, "user/session seed")
+	scheduler := flag.String("scheduler", "pes", "scheduler: interactive, ondemand, ebs, pes, oracle")
+	verbose := flag.Bool("v", false, "print per-event outcomes")
+	flag.Parse()
+
+	spec, err := webapp.ByName(*app)
+	if err != nil {
+		log.Fatalf("pes-sim: %v", err)
+	}
+	platform := acmp.Exynos5410()
+	tr := trace.Generate(spec, *seed, trace.Options{})
+	events, err := tr.Runtime()
+	if err != nil {
+		log.Fatalf("pes-sim: %v", err)
+	}
+
+	var result *sim.Result
+	switch strings.ToLower(*scheduler) {
+	case "interactive":
+		result = sim.RunReactive(platform, *app, events, sched.NewInteractive(platform))
+	case "ondemand":
+		result = sim.RunReactive(platform, *app, events, sched.NewOndemand(platform))
+	case "ebs":
+		result = sim.RunReactive(platform, *app, events, sched.NewEBS(platform))
+	case "oracle":
+		result = sim.RunProactive(platform, *app, events, sched.NewOracle(platform, events))
+	case "pes":
+		learner, _, err := predictor.TrainOnSeenApps(6, 1)
+		if err != nil {
+			log.Fatalf("pes-sim: training: %v", err)
+		}
+		pes := core.NewPES(platform, learner, spec, tr.DOMSeed, predictor.DefaultConfig())
+		result = sim.RunProactive(platform, *app, events, pes)
+	default:
+		log.Fatalf("pes-sim: unknown scheduler %q", *scheduler)
+	}
+
+	if *verbose {
+		for _, o := range result.Outcomes {
+			status := "ok"
+			if o.Violated {
+				status = "VIOLATED"
+			}
+			fmt.Printf("#%-3d %-10s trigger=%-10s latency=%-10s qos=%-6s cfg=%-14s spec=%-5v %s\n",
+				o.Event.Seq, o.Event.Type, o.Event.Trigger, o.Latency, o.Event.QoSTarget(), o.Config, o.Speculative, status)
+		}
+	}
+	fmt.Printf("scheduler=%s app=%s events=%d duration=%s\n", result.Scheduler, result.App, len(result.Outcomes), result.Duration)
+	fmt.Printf("energy: total=%.1f mJ (busy=%.1f idle=%.1f wasted=%.1f)\n",
+		result.TotalEnergyMJ, result.BusyEnergyMJ, result.IdleEnergyMJ, result.WastedEnergyMJ)
+	fmt.Printf("qos: violations=%d (%.1f%%), mean latency=%s\n",
+		result.Violations, 100*result.ViolationRate, result.MeanLatency())
+	if result.CommittedFrames+result.Mispredictions > 0 {
+		fmt.Printf("speculation: committed=%d mispredictions=%d squashed=%d waste=%s\n",
+			result.CommittedFrames, result.Mispredictions, result.SquashedFrames, result.MispredictWaste)
+	}
+}

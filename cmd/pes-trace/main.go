@@ -1,0 +1,50 @@
+// Command pes-trace generates synthetic user interaction traces and writes
+// them as a JSON stream (one trace per line), or lists the application
+// suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/webapp"
+)
+
+func main() {
+	app := flag.String("app", "", "application name (empty = all applications)")
+	n := flag.Int("n", 3, "traces per application")
+	seed := flag.Int64("seed", 1, "base seed")
+	purpose := flag.String("purpose", trace.PurposeEval, "trace purpose label (train or eval)")
+	list := flag.Bool("list", false, "list the application suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range webapp.Registry() {
+			kind := "unseen"
+			if s.Seen {
+				kind = "seen"
+			}
+			fmt.Printf("%-15s %-7s clickable=%.2f pages=%d\n", s.Name, kind, s.ClickableDensity, s.PageCount)
+		}
+		return
+	}
+
+	var apps []*webapp.Spec
+	if *app == "" {
+		apps = webapp.Registry()
+	} else {
+		spec, err := webapp.ByName(*app)
+		if err != nil {
+			log.Fatalf("pes-trace: %v", err)
+		}
+		apps = []*webapp.Spec{spec}
+	}
+	corpus := trace.GenerateCorpus(apps, *n, *seed, *purpose, trace.Options{})
+	if err := trace.Encode(os.Stdout, corpus); err != nil {
+		log.Fatalf("pes-trace: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d traces (%d events)\n", len(corpus), corpus.TotalEvents())
+}

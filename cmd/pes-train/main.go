@@ -1,0 +1,60 @@
+// Command pes-train trains the event sequence learner offline on synthetic
+// traces of the seen applications, reports its accuracy on fresh evaluation
+// traces, and optionally persists the model to a JSON file (the paper
+// persists the trained model and loads it when an application boots).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/webapp"
+)
+
+func main() {
+	tracesPerApp := flag.Int("traces", 8, "training traces per seen application")
+	evalPerApp := flag.Int("eval", 2, "evaluation traces per application")
+	seed := flag.Int64("seed", 1, "training seed")
+	out := flag.String("out", "", "path to write the trained model JSON (omit to skip)")
+	flag.Parse()
+
+	learner, train, err := predictor.TrainOnSeenApps(*tracesPerApp, *seed)
+	if err != nil {
+		log.Fatalf("pes-train: %v", err)
+	}
+	fmt.Printf("trained on %d traces (%d events)\n", len(train), train.TotalEvents())
+
+	eval := trace.GenerateCorpus(webapp.Registry(), *evalPerApp, *seed+900000, trace.PurposeEval, trace.Options{})
+	results, err := predictor.EvaluateAccuracy(learner, eval, true)
+	if err != nil {
+		log.Fatalf("pes-train: %v", err)
+	}
+	var seenSum, seenN, unseenSum, unseenN float64
+	for _, r := range results {
+		fmt.Printf("%-15s seen=%-5v accuracy=%.1f%% (%d events)\n", r.App, r.Seen, 100*r.Accuracy, r.Events)
+		if r.Seen {
+			seenSum += r.Accuracy
+			seenN++
+		} else {
+			unseenSum += r.Accuracy
+			unseenN++
+		}
+	}
+	fmt.Printf("average: seen=%.1f%% unseen=%.1f%%\n", 100*seenSum/seenN, 100*unseenSum/unseenN)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("pes-train: %v", err)
+		}
+		defer f.Close()
+		if err := learner.Model().Save(f); err != nil {
+			log.Fatalf("pes-train: %v", err)
+		}
+		fmt.Printf("model written to %s\n", *out)
+	}
+}

@@ -1,0 +1,38 @@
+// pareto sweeps all five scheduling schemes over a small evaluation corpus
+// and prints the energy/QoS Pareto points of the paper's Fig. 13, plus the
+// confidence-threshold sensitivity of Fig. 14.
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	cfg := pes.DefaultExperimentConfig()
+	cfg.EvalTracesPerApp = 1 // keep the example fast; increase for smoother averages
+	cfg.TrainTracesPerApp = 4
+
+	setup, err := pes.NewExperiments(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pareto, err := setup.Fig13()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pareto.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	sensitivity, err := setup.Fig14([]float64{0.3, 0.7, 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sensitivity.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package core implements PES itself — the paper's contribution: a
+// proactive event scheduler that combines the event predictor (statistical
+// sequence learner + DOM analysis), the energy/QoS optimizer (ILP over
+// outstanding and predicted events), and the control unit's fallback policy
+// (disable speculation after consecutive mis-predictions, behave like the
+// reactive EBS scheduler meanwhile).
+package core
+
+import (
+	"repro/internal/acmp"
+	"repro/internal/control"
+	"repro/internal/optimizer"
+	"repro/internal/predictor"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/webapp"
+	"repro/internal/webevent"
+)
+
+// PES is the proactive event scheduler. One instance schedules one
+// interaction session of one application (mirroring the per-renderer PES
+// layer in the browser); the predictor's logistic model is shared across
+// applications and trained offline.
+type PES struct {
+	platform *acmp.Platform
+	spec     *webapp.Spec
+	pred     *predictor.Predictor
+	opt      *optimizer.Optimizer
+	fallback *control.Fallback
+
+	lastTrigger simtime.Time
+	haveEvent   bool
+}
+
+// Option customizes a PES instance.
+type Option func(*PES)
+
+// WithFallback overrides the mis-prediction fallback controller (used by
+// tests and sensitivity studies).
+func WithFallback(f *control.Fallback) Option {
+	return func(p *PES) { p.fallback = f }
+}
+
+// NewPES builds a PES scheduler for one session of the given application.
+//
+// learner is the offline-trained event sequence learner; domSeed must match
+// the trace being replayed so that the predictor's DOM replica sees the same
+// pages the user saw; predCfg carries the confidence threshold and the DOM
+// analysis toggle (Sec. 6.5 sensitivity studies).
+func NewPES(platform *acmp.Platform, learner *predictor.SequenceLearner, spec *webapp.Spec,
+	domSeed int64, predCfg predictor.Config, opts ...Option) *PES {
+	cost := optimizer.NewCostModel(platform)
+	p := &PES{
+		platform: platform,
+		spec:     spec,
+		pred:     predictor.New(learner, spec, domSeed, predCfg),
+		opt:      optimizer.New(platform, cost),
+		fallback: control.NewFallback(),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Name implements sched.ProactivePolicy.
+func (p *PES) Name() string { return "PES" }
+
+// Predictor exposes the underlying predictor (for overhead reporting).
+func (p *PES) Predictor() *predictor.Predictor { return p.pred }
+
+// Optimizer exposes the underlying optimizer (for overhead reporting).
+func (p *PES) Optimizer() *optimizer.Optimizer { return p.opt }
+
+// Observe implements sched.ProactivePolicy: every actual event updates the
+// predictor's feature window and DOM replica.
+func (p *PES) Observe(e *webevent.Event) {
+	p.pred.Observe(e)
+	p.lastTrigger = e.Trigger
+	p.haveEvent = true
+}
+
+// Plan implements sched.ProactivePolicy: it predicts the upcoming event
+// sequence and solves the constrained optimization problem over the
+// outstanding events plus the predicted events, producing the speculative
+// schedule.
+func (p *PES) Plan(start simtime.Time, outstanding []*webevent.Event) []sched.SpecTask {
+	if !p.fallback.Enabled() {
+		return nil
+	}
+	preds := p.pred.PredictSequence()
+	if len(preds) == 0 && len(outstanding) == 0 {
+		return nil
+	}
+
+	var tasks []*optimizer.Task
+	for _, e := range outstanding {
+		tasks = append(tasks, &optimizer.Task{
+			Event:           e,
+			Type:            e.Type,
+			Signature:       e.Signature(),
+			ExpectedTrigger: e.Trigger,
+			Deadline:        e.Deadline(),
+		})
+	}
+	// Predicted events: their deadlines are anchored at the expected trigger
+	// times accumulated from the last observed event. A predicted page load
+	// that is not the immediately next prediction participates in the
+	// coordinated schedule (so that preceding and following events are
+	// provisioned around it) but is marked hold-until-trigger: its network
+	// requests are suppressed until the triggering navigation is confirmed
+	// (Sec. 5.3), so it cannot be usefully pre-rendered.
+	expected := p.lastTrigger
+	if len(outstanding) > 0 {
+		expected = outstanding[len(outstanding)-1].Trigger
+	}
+	held := make(map[int]bool)
+	for i, pr := range preds {
+		if pr.Type == webevent.Load && i > 0 {
+			// Stop the speculative sequence at a deep predicted load: its
+			// content depends on suppressed network requests, and the DOM
+			// state beyond it is too uncertain for useful speculation —
+			// committing the load starts a fresh prediction round instead.
+			break
+		}
+		expected = expected.Add(pr.ExpectedGap)
+		tasks = append(tasks, &optimizer.Task{
+			Type:            pr.Type,
+			Signature:       webevent.Signature{App: p.spec.Name, Type: pr.Type, TargetKind: webevent.NodeKind(pr.TargetKind)},
+			ExpectedTrigger: expected,
+			Deadline:        expected.Add(pr.Type.QoSTarget()),
+			Predicted:       true,
+		})
+	}
+	p.opt.Schedule(start, tasks)
+
+	out := make([]sched.SpecTask, 0, len(tasks))
+	for i, t := range tasks {
+		out = append(out, sched.SpecTask{
+			Event:            t.Event,
+			Type:             t.Type,
+			Signature:        t.Signature,
+			Config:           t.Config,
+			EstimatedLatency: t.EstimatedLatency,
+			ExpectedTrigger:  t.ExpectedTrigger,
+			HoldUntilTrigger: held[i],
+		})
+	}
+	return out
+}
+
+// ReactiveConfig implements sched.ProactivePolicy: when speculation is not
+// usable PES behaves exactly like EBS — the minimum-energy configuration
+// that meets the single event's deadline.
+func (p *PES) ReactiveConfig(e *webevent.Event, start simtime.Time) acmp.Config {
+	return p.opt.Cost().PickMinEnergyConfig(e.Signature(), start, e.Deadline())
+}
+
+// ObserveExecution implements sched.ProactivePolicy.
+func (p *PES) ObserveExecution(sig webevent.Signature, cfg acmp.Config, execLatency simtime.Duration) {
+	p.opt.Cost().Observe(sig, cfg, execLatency)
+}
+
+// OnCorrectPrediction implements sched.ProactivePolicy.
+func (p *PES) OnCorrectPrediction() { p.fallback.OnCorrectPrediction() }
+
+// OnMisprediction implements sched.ProactivePolicy.
+func (p *PES) OnMisprediction() { p.fallback.OnMisprediction() }
+
+// OnReactiveEvent implements sched.ProactivePolicy.
+func (p *PES) OnReactiveEvent() { p.fallback.OnReactiveEvent() }
+
+// SpeculationEnabled implements sched.ProactivePolicy.
+func (p *PES) SpeculationEnabled() bool { return p.fallback.Enabled() }
+
+var _ sched.ProactivePolicy = (*PES)(nil)

@@ -1,0 +1,159 @@
+package dom
+
+import (
+	"repro/internal/webevent"
+)
+
+// Role is the accessibility role of a node, as exposed by the Accessibility
+// Tree that the paper piggybacks its Semantic Tree on. Roles let the DOM
+// analyzer know what activating a node does (toggle a menu, navigate, submit
+// a form) without evaluating the JavaScript callback.
+type Role int
+
+const (
+	// RoleNone is a node with no interactive semantics.
+	RoleNone Role = iota
+	// RoleDocument is the page root.
+	RoleDocument
+	// RoleLink is a navigation link.
+	RoleLink
+	// RoleButton is a generic activatable control.
+	RoleButton
+	// RoleMenuToggle is a control that expands/collapses a menu.
+	RoleMenuToggle
+	// RoleMenu is a collapsible container.
+	RoleMenu
+	// RoleMenuItem is an entry of a collapsible container.
+	RoleMenuItem
+	// RoleForm is a form that can be submitted.
+	RoleForm
+	// RoleTextbox is an editable field.
+	RoleTextbox
+)
+
+// String names the role.
+func (r Role) String() string {
+	names := [...]string{"none", "document", "link", "button", "menutoggle",
+		"menu", "menuitem", "form", "textbox"}
+	if int(r) < len(names) {
+		return names[r]
+	}
+	return "role?"
+}
+
+// SemanticNode is one entry of the Semantic Tree: the accessibility role of
+// a DOM node plus the memoized effect of activating it.
+type SemanticNode struct {
+	ID NodeID
+	// Role is the accessibility role.
+	Role Role
+	// Toggles is the menu node whose visibility flips when this node is
+	// activated (None when the node toggles nothing).
+	Toggles NodeID
+	// Navigates is the destination page when activating this node navigates
+	// ("" otherwise).
+	Navigates string
+}
+
+// SemanticTree mirrors the structure of a DOM tree but carries only the
+// semantic attributes needed by the DOM analyzer. It is the reproduction of
+// the paper's Semantic Tree, built on top of the Accessibility Tree during
+// parsing, and allows the analyzer to determine the DOM state after an
+// event statically.
+type SemanticTree struct {
+	dom   *Tree
+	nodes map[NodeID]SemanticNode
+}
+
+// roleOf derives the accessibility role of a DOM node from its kind and its
+// memoized semantic annotations.
+func roleOf(n *Node) Role {
+	switch {
+	case n.TogglesMenu != None:
+		return RoleMenuToggle
+	case n.NavigatesTo != "" && n.Kind == Link:
+		return RoleLink
+	case n.NavigatesTo != "":
+		return RoleButton
+	case n.Kind == Document:
+		return RoleDocument
+	case n.Kind == Link:
+		return RoleLink
+	case n.Kind == Button:
+		return RoleButton
+	case n.Kind == Menu:
+		return RoleMenu
+	case n.Kind == MenuItem:
+		return RoleMenuItem
+	case n.Kind == Form:
+		return RoleForm
+	case n.Kind == Input:
+		return RoleTextbox
+	default:
+		return RoleNone
+	}
+}
+
+// BuildSemanticTree constructs the Semantic Tree for a DOM tree. In the real
+// system this happens incrementally during parsing; here the page builders
+// construct the DOM first and derive the semantic view in one pass, which is
+// equivalent because the annotations (TogglesMenu, NavigatesTo) are already
+// memoized on the DOM nodes.
+func BuildSemanticTree(t *Tree) *SemanticTree {
+	st := &SemanticTree{dom: t, nodes: make(map[NodeID]SemanticNode, t.Len())}
+	t.Walk(func(n *Node) {
+		st.nodes[n.ID] = SemanticNode{
+			ID:        n.ID,
+			Role:      roleOf(n),
+			Toggles:   n.TogglesMenu,
+			Navigates: n.NavigatesTo,
+		}
+	})
+	return st
+}
+
+// Node returns the semantic entry for a DOM node.
+func (s *SemanticTree) Node(id NodeID) SemanticNode { return s.nodes[id] }
+
+// Role returns the accessibility role of a DOM node.
+func (s *SemanticTree) Role(id NodeID) Role { return s.nodes[id].Role }
+
+// Len returns the number of semantic entries.
+func (s *SemanticTree) Len() int { return len(s.nodes) }
+
+// PostEventLNES statically computes the Likely-Next-Event-Set of the DOM
+// state that will exist after the given event executes, without evaluating
+// the event's callback:
+//
+//   - a menu-toggle activation flips the memoized menu subtree and the LNES
+//     is computed against the flipped state (then restored);
+//   - a move event advances the viewport by one scroll step before computing
+//     the LNES (then restores the scroll position);
+//   - a navigation cannot be resolved from the current page alone, so nil is
+//     returned and the caller falls back to the destination page's LNES or
+//     to the unrestricted event set;
+//   - anything else leaves the DOM unchanged and the current LNES applies.
+func (s *SemanticTree) PostEventLNES(typ webevent.Type, target NodeID) []webevent.Type {
+	t := s.dom
+	if typ.IsMove() {
+		savedTop := t.ViewportTop
+		t.Scroll(t.ViewportHeight * ScrollStepFraction)
+		lnes := t.LNES()
+		t.ViewportTop = savedTop
+		return lnes
+	}
+	if typ.IsTap() && target != None {
+		sn, ok := s.nodes[target]
+		if ok && sn.Toggles != None {
+			menu := t.Node(sn.Toggles)
+			menu.Hidden = !menu.Hidden
+			lnes := t.LNES()
+			menu.Hidden = !menu.Hidden
+			return lnes
+		}
+		if ok && sn.Navigates != "" {
+			return nil
+		}
+	}
+	return t.LNES()
+}

@@ -1,0 +1,89 @@
+// Package eventclass classifies events executed under a reactive scheduler
+// into the four categories of Fig. 3 of the paper. The classification is not
+// intrinsic to an event: it describes how the event fared under a particular
+// schedule and therefore exposes the scheduling policy's limitations.
+package eventclass
+
+import (
+	"fmt"
+
+	"repro/internal/acmp"
+	"repro/internal/render"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// Class is one of the paper's four event categories.
+type Class int
+
+const (
+	// TypeI events cannot meet their QoS target even on the
+	// highest-performance configuration.
+	TypeI Class = iota
+	// TypeII events could meet the deadline in isolation but missed it at
+	// runtime because of interference from other events.
+	TypeII
+	// TypeIII events met the deadline but needed a higher-performance (more
+	// energy-hungry) configuration than they would have in isolation,
+	// because interference shrank their time budget.
+	TypeIII
+	// TypeIV events met the deadline without interference — the benign case
+	// whose slack a proactive scheduler can redistribute.
+	TypeIV
+
+	// NumClasses is the number of categories.
+	NumClasses int = iota
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case TypeI:
+		return "Type I"
+	case TypeII:
+		return "Type II"
+	case TypeIII:
+		return "Type III"
+	case TypeIV:
+		return "Type IV"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Classify assigns an executed event to its category.
+func Classify(p *acmp.Platform, o sim.Outcome) Class {
+	ev := o.Event
+	// Would the event have met its target on the fastest configuration with
+	// a full budget (no interference)?
+	bestLat := p.Latency(ev.Work, p.MaxPerformance()) + render.DisplayMargin
+	if bestLat > ev.QoSTarget() {
+		return TypeI
+	}
+	interfered := o.Start.After(ev.Trigger.Add(simtime.Millisecond))
+	if o.Violated {
+		return TypeII
+	}
+	if interfered {
+		return TypeIII
+	}
+	return TypeIV
+}
+
+// Distribution summarizes the class mix of a simulation result as fractions
+// that sum to 1 (for a non-empty result).
+func Distribution(p *acmp.Platform, r *sim.Result) [NumClasses]float64 {
+	var counts [NumClasses]int
+	for _, o := range r.Outcomes {
+		counts[Classify(p, o)]++
+	}
+	var out [NumClasses]float64
+	total := len(r.Outcomes)
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}

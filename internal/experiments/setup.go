@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/acmp"
+	"repro/internal/core"
+	"repro/internal/predictor"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/webapp"
+)
+
+// Scheduler names used across tables.
+const (
+	SchedInteractive = "Interactive"
+	SchedOndemand    = "Ondemand"
+	SchedEBS         = "EBS"
+	SchedPES         = "PES"
+	SchedOracle      = "Oracle"
+)
+
+// Config parameterizes the experiment harness. The defaults reproduce the
+// paper's setup at a scale that runs in seconds: three evaluation traces per
+// application (as in the paper) and a training corpus of several traces per
+// seen application.
+type Config struct {
+	// Platform is the ACMP hardware model (default Exynos 5410).
+	Platform *acmp.Platform
+	// TrainTracesPerApp is the number of training traces per seen
+	// application (default 8, roughly the paper's ">100 traces" over 12
+	// applications).
+	TrainTracesPerApp int
+	// EvalTracesPerApp is the number of evaluation traces per application
+	// (default 3, as in the paper).
+	EvalTracesPerApp int
+	// Seed controls trace generation and training determinism.
+	Seed int64
+	// Predictor carries the PES predictor configuration.
+	Predictor predictor.Config
+}
+
+// DefaultConfig returns the paper-equivalent configuration.
+func DefaultConfig() Config {
+	return Config{
+		Platform:          acmp.Exynos5410(),
+		TrainTracesPerApp: 8,
+		EvalTracesPerApp:  3,
+		Seed:              1,
+		Predictor:         predictor.DefaultConfig(),
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Platform == nil {
+		c.Platform = acmp.Exynos5410()
+	}
+	if c.TrainTracesPerApp == 0 {
+		c.TrainTracesPerApp = 8
+	}
+	if c.EvalTracesPerApp == 0 {
+		c.EvalTracesPerApp = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Predictor.ConfidenceThreshold == 0 {
+		c.Predictor = predictor.DefaultConfig()
+	}
+	return c
+}
+
+// Setup holds the shared state of one experiment campaign: the trained
+// predictor, the evaluation corpus, and cached simulation results so that
+// figures drawing on the same runs (e.g. Fig. 11, 12 and 13) do not repeat
+// them.
+type Setup struct {
+	Config  Config
+	Learner *predictor.SequenceLearner
+	Train   trace.Corpus
+	Eval    trace.Corpus
+
+	// results caches per-scheduler, per-trace simulation results keyed by
+	// scheduler name; the slice is index-aligned with Eval.
+	results map[string][]*sim.Result
+}
+
+// NewSetup trains the predictor on the seen applications and generates the
+// evaluation corpus for all 18 applications. Evaluation traces always use
+// seeds disjoint from the training traces (new users, as in the paper).
+func NewSetup(cfg Config) (*Setup, error) {
+	cfg = cfg.withDefaults()
+	train := trace.GenerateCorpus(webapp.SeenApps(), cfg.TrainTracesPerApp, cfg.Seed*1000, trace.PurposeTrain, trace.Options{})
+	learner := predictor.NewSequenceLearner()
+	if err := learner.Train(train, trainConfig(cfg.Seed)); err != nil {
+		return nil, fmt.Errorf("experiments: training: %w", err)
+	}
+	eval := trace.GenerateCorpus(webapp.Registry(), cfg.EvalTracesPerApp, cfg.Seed*1000+500000, trace.PurposeEval, trace.Options{})
+	return &Setup{
+		Config:  cfg,
+		Learner: learner,
+		Train:   train,
+		Eval:    eval,
+		results: make(map[string][]*sim.Result),
+	}, nil
+}
+
+// NewPES constructs a PES scheduler instance for one evaluation trace.
+func (s *Setup) NewPES(tr *trace.Trace) (*core.PES, error) {
+	spec, err := webapp.ByName(tr.App)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewPES(s.Config.Platform, s.Learner, spec, tr.DOMSeed, s.Config.Predictor), nil
+}
+
+// corePESForThreshold builds a PES instance with an explicit predictor
+// configuration (used by the sensitivity and other-device studies).
+func corePESForThreshold(s *Setup, spec *webapp.Spec, tr *trace.Trace, predCfg predictor.Config) *core.PES {
+	return core.NewPES(s.Config.Platform, s.Learner, spec, tr.DOMSeed, predCfg)
+}
+
+// runScheduler simulates every evaluation trace under the named scheduler,
+// caching the results.
+func (s *Setup) runScheduler(name string) ([]*sim.Result, error) {
+	if rs, ok := s.results[name]; ok {
+		return rs, nil
+	}
+	p := s.Config.Platform
+	out := make([]*sim.Result, 0, len(s.Eval))
+	for _, tr := range s.Eval {
+		evs, err := tr.Runtime()
+		if err != nil {
+			return nil, err
+		}
+		var r *sim.Result
+		switch name {
+		case SchedInteractive:
+			r = sim.RunReactive(p, tr.App, evs, sched.NewInteractive(p))
+		case SchedOndemand:
+			r = sim.RunReactive(p, tr.App, evs, sched.NewOndemand(p))
+		case SchedEBS:
+			r = sim.RunReactive(p, tr.App, evs, sched.NewEBS(p))
+		case SchedPES:
+			pes, err := s.NewPES(tr)
+			if err != nil {
+				return nil, err
+			}
+			r = sim.RunProactive(p, tr.App, evs, pes)
+		case SchedOracle:
+			r = sim.RunProactive(p, tr.App, evs, sched.NewOracle(p, evs))
+		default:
+			return nil, fmt.Errorf("experiments: unknown scheduler %q", name)
+		}
+		out = append(out, r)
+	}
+	s.results[name] = out
+	return out, nil
+}
+
+// perApp aggregates a metric of the cached results per application, in
+// registry order.
+func (s *Setup) perApp(name string, metric func(*sim.Result) float64) (map[string]float64, error) {
+	rs, err := s.runScheduler(name)
+	if err != nil {
+		return nil, err
+	}
+	sums := make(map[string]float64)
+	counts := make(map[string]float64)
+	for i, r := range rs {
+		app := s.Eval[i].App
+		sums[app] += metric(r)
+		counts[app]++
+	}
+	out := make(map[string]float64, len(sums))
+	for app, sum := range sums {
+		out[app] = sum / counts[app]
+	}
+	return out, nil
+}
+
+// appOrder returns the application names in presentation order: seen
+// applications first, then unseen, as in the paper's figures.
+func appOrder() []string {
+	var names []string
+	for _, s := range webapp.SeenApps() {
+		names = append(names, s.Name)
+	}
+	for _, s := range webapp.UnseenApps() {
+		names = append(names, s.Name)
+	}
+	return names
+}

@@ -1,0 +1,268 @@
+// Package ilp provides the integer-linear-programming solver behind the PES
+// optimizer (Eqn. 2–5 of the paper).
+//
+// The scheduling problem has a chain structure: events execute back to back
+// on the main thread, each event must be assigned exactly one ACMP
+// configuration (Eqn. 2), the cumulative finish time of every prefix must
+// meet that event's deadline (Eqn. 4), and the objective is the total energy
+// (Eqn. 5). Like the paper, which implements its own solver rather than
+// using a third-party LP package, this solver is specialized to that
+// structure: an exact branch-and-bound over per-event configuration choices
+// with energy lower bounds and deadline feasibility pruning, and a greedy
+// fallback when the search budget is exhausted.
+package ilp
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Choice is one candidate configuration for an item: its predicted latency
+// and energy under that configuration.
+type Choice struct {
+	Latency simtime.Duration
+	Energy  float64
+}
+
+// Item is one event to schedule: its absolute deadline and its per-config
+// choices. Choices must be non-empty.
+type Item struct {
+	Deadline simtime.Time
+	Choices  []Choice
+}
+
+// Problem is a chain-scheduling instance: items execute in order starting no
+// earlier than Start.
+type Problem struct {
+	Start simtime.Time
+	Items []Item
+}
+
+// Assignment is the solver output.
+type Assignment struct {
+	// Choice holds the selected choice index for each item.
+	Choice []int
+	// TotalEnergy is the summed energy of the selected choices.
+	TotalEnergy float64
+	// Feasible reports whether every original deadline is met. When the
+	// instance is infeasible (e.g. a Type I event), the solver returns the
+	// assignment that meets the relaxed deadlines (earliest achievable
+	// finish times) with minimal energy, and Feasible is false.
+	Feasible bool
+	// Finish holds the cumulative finish time of each item under the
+	// returned assignment.
+	Finish []simtime.Time
+	// Nodes is the number of branch-and-bound nodes explored (for overhead
+	// reporting).
+	Nodes int
+}
+
+// maxNodes bounds the branch-and-bound search; beyond it the greedy solution
+// stands. With ≤ ~16 items and 17 configurations the bound is generous.
+const maxNodes = 400000
+
+// Solve computes a minimum-energy assignment subject to the chain deadline
+// constraints. It always returns a complete assignment: when the original
+// deadlines cannot all be met even at maximum performance, the deadlines are
+// relaxed to the earliest achievable finish times (the infeasible events run
+// as fast as possible) and Feasible is false.
+func Solve(p Problem) Assignment {
+	n := len(p.Items)
+	if n == 0 {
+		return Assignment{Feasible: true}
+	}
+
+	// Minimum latency and energy per item, used for feasibility relaxation
+	// and lower bounds.
+	minLat := make([]simtime.Duration, n)
+	minEnergy := make([]float64, n)
+	for i, it := range p.Items {
+		if len(it.Choices) == 0 {
+			// A degenerate item with no choices: treat as zero-cost no-op.
+			minLat[i] = 0
+			minEnergy[i] = 0
+			continue
+		}
+		minLat[i] = it.Choices[0].Latency
+		minEnergy[i] = it.Choices[0].Energy
+		for _, c := range it.Choices[1:] {
+			if c.Latency < minLat[i] {
+				minLat[i] = c.Latency
+			}
+			if c.Energy < minEnergy[i] {
+				minEnergy[i] = c.Energy
+			}
+		}
+	}
+
+	// Relax deadlines to the earliest achievable finish time so the search
+	// space is never empty; remember whether relaxation was needed.
+	deadlines := make([]simtime.Time, n)
+	feasible := true
+	earliest := p.Start
+	for i := range p.Items {
+		earliest = earliest.Add(minLat[i])
+		deadlines[i] = p.Items[i].Deadline
+		if earliest.After(deadlines[i]) {
+			deadlines[i] = earliest
+			feasible = false
+		}
+	}
+
+	// Suffix sums of minimum latency and energy for pruning.
+	sufLat := make([]simtime.Duration, n+1)
+	sufEnergy := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		sufLat[i] = sufLat[i+1] + minLat[i]
+		sufEnergy[i] = sufEnergy[i+1] + minEnergy[i]
+	}
+
+	// Candidate orderings per item: by energy ascending so the first feasible
+	// leaf found is already good, improving pruning.
+	order := make([][]int, n)
+	for i, it := range p.Items {
+		idx := make([]int, len(it.Choices))
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return it.Choices[idx[a]].Energy < it.Choices[idx[b]].Energy
+		})
+		order[i] = idx
+	}
+
+	greedyChoice, greedyEnergy := greedy(p, deadlines, sufLat)
+
+	best := append([]int(nil), greedyChoice...)
+	bestEnergy := greedyEnergy
+
+	cur := make([]int, n)
+	nodes := 0
+	var dfs func(i int, now simtime.Time, energy float64) bool
+	dfs = func(i int, now simtime.Time, energy float64) bool {
+		if nodes >= maxNodes {
+			return true // abort the search, keep the best found so far
+		}
+		if i == n {
+			if energy < bestEnergy {
+				bestEnergy = energy
+				copy(best, cur)
+			}
+			return false
+		}
+		if energy+sufEnergy[i] >= bestEnergy {
+			return false
+		}
+		it := p.Items[i]
+		if len(it.Choices) == 0 {
+			cur[i] = 0
+			return dfs(i+1, now, energy)
+		}
+		for _, j := range order[i] {
+			nodes++
+			c := it.Choices[j]
+			finish := now.Add(c.Latency)
+			if finish.After(deadlines[i]) {
+				continue
+			}
+			// Future feasibility: every later deadline must remain reachable
+			// at minimum latencies.
+			ok := true
+			t := finish
+			for k := i + 1; k < n; k++ {
+				t = t.Add(minLat[k])
+				if t.After(deadlines[k]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			cur[i] = j
+			if dfs(i+1, finish, energy+c.Energy) {
+				return true
+			}
+		}
+		return false
+	}
+	dfs(0, p.Start, 0)
+
+	// Materialize finish times for the winning assignment.
+	finish := make([]simtime.Time, n)
+	now := p.Start
+	total := 0.0
+	for i := range p.Items {
+		if len(p.Items[i].Choices) > 0 {
+			c := p.Items[i].Choices[best[i]]
+			now = now.Add(c.Latency)
+			total += c.Energy
+		}
+		finish[i] = now
+	}
+	return Assignment{
+		Choice:      best,
+		TotalEnergy: total,
+		Feasible:    feasible,
+		Finish:      finish,
+		Nodes:       nodes,
+	}
+}
+
+// greedy assigns, for each item in order, the lowest-energy choice that
+// keeps the current and all future (relaxed) deadlines reachable. It always
+// succeeds because the deadlines have been relaxed to the max-performance
+// schedule.
+func greedy(p Problem, deadlines []simtime.Time, sufLat []simtime.Duration) ([]int, float64) {
+	n := len(p.Items)
+	choice := make([]int, n)
+	total := 0.0
+	now := p.Start
+	for i, it := range p.Items {
+		if len(it.Choices) == 0 {
+			continue
+		}
+		bestJ := -1
+		bestEnergy := math.MaxFloat64
+		bestLat := simtime.Duration(0)
+		for j, c := range it.Choices {
+			finish := now.Add(c.Latency)
+			if finish.After(deadlines[i]) {
+				continue
+			}
+			// Future reachability under minimum latencies.
+			ok := true
+			t := finish
+			for k := i + 1; k < n; k++ {
+				t = t.Add(sufLat[k] - sufLat[k+1])
+				if t.After(deadlines[k]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if c.Energy < bestEnergy {
+				bestEnergy, bestJ, bestLat = c.Energy, j, c.Latency
+			}
+		}
+		if bestJ == -1 {
+			// Should not happen after relaxation, but fall back to the
+			// fastest choice defensively.
+			for j, c := range it.Choices {
+				if bestJ == -1 || c.Latency < it.Choices[bestJ].Latency {
+					bestJ = j
+					bestLat = c.Latency
+					bestEnergy = c.Energy
+				}
+			}
+		}
+		choice[i] = bestJ
+		total += bestEnergy
+		now = now.Add(bestLat)
+	}
+	return choice, total
+}

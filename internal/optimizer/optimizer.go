@@ -1,0 +1,247 @@
+// Package optimizer implements the energy/QoS optimizer of PES: the latency
+// cost model based on the classical DVFS law T = Tmem + Ndep/f (Eqn. 1), the
+// power look-up table exposed by the ACMP platform, and the construction of
+// the constrained-optimization problem (Eqn. 5) whose solution is the
+// speculative schedule. The same cost model also powers the reactive EBS
+// baseline's per-event configuration choice.
+package optimizer
+
+import (
+	"repro/internal/acmp"
+	"repro/internal/ilp"
+	"repro/internal/render"
+	"repro/internal/simtime"
+	"repro/internal/webevent"
+)
+
+// maxObservations bounds the per-signature history kept by the cost model.
+const maxObservations = 8
+
+// obsPoint is one latency observation: the effective frequency (MHz divided
+// by the core's CPI factor) and the observed execution latency.
+type obsPoint struct {
+	effFreq float64
+	latency float64 // µs
+}
+
+// CostModel estimates event workloads (Tmem, Ndep) from observed execution
+// latencies, exactly as the paper does: once an event signature has been
+// observed under two different (effective) frequencies, the two-unknown
+// system of Eqn. 1 is solved; with more observations a least-squares fit is
+// used; before that, conservative per-interaction defaults apply.
+type CostModel struct {
+	platform *acmp.Platform
+	obs      map[webevent.Signature][]obsPoint
+	defaults map[webevent.Interaction]acmp.Workload
+}
+
+// NewCostModel creates a cost model for the platform.
+func NewCostModel(p *acmp.Platform) *CostModel {
+	return &CostModel{
+		platform: p,
+		obs:      make(map[webevent.Signature][]obsPoint),
+		defaults: map[webevent.Interaction]acmp.Workload{
+			// Conservative (heavier-than-typical) priors so that unknown
+			// events are provisioned generously rather than missing QoS.
+			webevent.LoadInteraction: {Tmem: 380 * simtime.Millisecond, Cycles: 4400e6},
+			webevent.TapInteraction:  {Tmem: 26 * simtime.Millisecond, Cycles: 520e6},
+			webevent.MoveInteraction: {Tmem: 3 * simtime.Millisecond, Cycles: 18e6},
+		},
+	}
+}
+
+// effFreq returns the CPI-adjusted frequency of a configuration, so that
+// latency = Tmem + Cycles/effFreq holds across core types.
+func (c *CostModel) effFreq(cfg acmp.Config) float64 {
+	return float64(cfg.FreqMHz) / c.platform.Cluster(cfg.Core).CPI
+}
+
+// Observe records a completed execution of an event with the given signature
+// on cfg.
+func (c *CostModel) Observe(sig webevent.Signature, cfg acmp.Config, execLatency simtime.Duration) {
+	pts := append(c.obs[sig], obsPoint{effFreq: c.effFreq(cfg), latency: float64(execLatency)})
+	if len(pts) > maxObservations {
+		pts = pts[len(pts)-maxObservations:]
+	}
+	c.obs[sig] = pts
+}
+
+// Observations returns how many latency samples the model holds for the
+// signature.
+func (c *CostModel) Observations(sig webevent.Signature) int { return len(c.obs[sig]) }
+
+// Estimate returns the estimated workload for the signature and whether the
+// estimate comes from measurements (true) or from the per-interaction
+// default (false).
+func (c *CostModel) Estimate(sig webevent.Signature) (acmp.Workload, bool) {
+	pts := c.obs[sig]
+	if len(pts) == 0 {
+		return c.defaults[sig.Type.Interaction()], false
+	}
+	// Check whether we have frequency diversity; without it Tmem and Ndep
+	// cannot be separated and a fixed memory share is assumed.
+	distinct := false
+	for _, p := range pts[1:] {
+		if p.effFreq != pts[0].effFreq {
+			distinct = true
+			break
+		}
+	}
+	if !distinct || len(pts) < 2 {
+		// Assume the interaction-typical memory share of the latency.
+		share := 0.15
+		if sig.Type.Interaction() == webevent.LoadInteraction {
+			share = 0.20
+		}
+		mean := 0.0
+		meanF := 0.0
+		for _, p := range pts {
+			mean += p.latency
+			meanF += p.effFreq
+		}
+		mean /= float64(len(pts))
+		meanF /= float64(len(pts))
+		return acmp.Workload{
+			Tmem:   simtime.Duration(mean * share),
+			Cycles: int64(mean * (1 - share) * meanF),
+		}, true
+	}
+	// Least-squares fit of latency = Tmem + Cycles * (1/effFreq).
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		x := 1 / p.effFreq
+		sx += x
+		sy += p.latency
+		sxx += x * x
+		sxy += x * p.latency
+	}
+	n := float64(len(pts))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return c.defaults[sig.Type.Interaction()], false
+	}
+	cycles := (n*sxy - sx*sy) / den
+	tmem := (sy - cycles*sx) / n
+	if cycles < 0 {
+		cycles = 0
+	}
+	if tmem < 0 {
+		tmem = 0
+	}
+	return acmp.Workload{Tmem: simtime.Duration(tmem), Cycles: int64(cycles)}, true
+}
+
+// PredictLatency estimates the execution latency of an event with the given
+// signature on cfg.
+func (c *CostModel) PredictLatency(sig webevent.Signature, cfg acmp.Config) simtime.Duration {
+	w, _ := c.Estimate(sig)
+	return c.platform.Latency(w, cfg)
+}
+
+// PredictEnergy estimates the active energy (mJ) of executing the signature
+// on cfg.
+func (c *CostModel) PredictEnergy(sig webevent.Signature, cfg acmp.Config) float64 {
+	return acmp.EnergyMJ(c.platform.Power(cfg), c.PredictLatency(sig, cfg))
+}
+
+// PickMinEnergyConfig returns the minimum-energy configuration whose
+// predicted latency meets the deadline when execution starts at start; when
+// no configuration can meet the deadline (a Type I event or a very late
+// start) the maximum-performance configuration is returned. This is the
+// per-event decision rule of the reactive EBS scheduler. The deadline is
+// tightened by the display-submission margin so that frames also reach the
+// screen in time.
+func (c *CostModel) PickMinEnergyConfig(sig webevent.Signature, start simtime.Time, deadline simtime.Time) acmp.Config {
+	budget := deadline.Sub(start) - render.DisplayMargin
+	best := acmp.Config{}
+	bestEnergy := 0.0
+	for _, cfg := range c.platform.Configs() {
+		lat := c.PredictLatency(sig, cfg)
+		if simtime.Duration(lat) > budget {
+			continue
+		}
+		e := acmp.EnergyMJ(c.platform.Power(cfg), lat)
+		if best.IsZero() || e < bestEnergy {
+			best, bestEnergy = cfg, e
+		}
+	}
+	if best.IsZero() {
+		return c.platform.MaxPerformance()
+	}
+	return best
+}
+
+// Task is one entry of a speculative schedule: either an outstanding actual
+// event or a predicted future event, with the configuration the optimizer
+// assigned to it.
+type Task struct {
+	// Event is the outstanding actual event, or nil for a predicted event.
+	Event *webevent.Event
+	// Type is the event type (for predicted events).
+	Type webevent.Type
+	// Signature keys the cost model.
+	Signature webevent.Signature
+	// ExpectedTrigger is when the event is (expected to be) triggered.
+	ExpectedTrigger simtime.Time
+	// Deadline is the absolute QoS deadline used in the optimization.
+	Deadline simtime.Time
+	// Config is the assigned ACMP configuration (filled by Schedule).
+	Config acmp.Config
+	// EstimatedLatency is the cost model's latency estimate under Config.
+	EstimatedLatency simtime.Duration
+	// Predicted marks speculative (not yet triggered) tasks.
+	Predicted bool
+}
+
+// Optimizer assembles and solves the constrained optimization problem over
+// outstanding plus predicted events.
+type Optimizer struct {
+	platform *acmp.Platform
+	cost     *CostModel
+
+	// SolveCount and NodeCount accumulate solver statistics for the overhead
+	// analysis (Sec. 6.3).
+	SolveCount int
+	NodeCount  int
+}
+
+// New creates an optimizer using the given cost model.
+func New(p *acmp.Platform, cost *CostModel) *Optimizer {
+	return &Optimizer{platform: p, cost: cost}
+}
+
+// Cost exposes the cost model (shared with the EBS fallback path).
+func (o *Optimizer) Cost() *CostModel { return o.cost }
+
+// Schedule assigns a configuration to every task such that the total
+// predicted energy is minimized while each task finishes by its deadline
+// when execution starts at start (Eqn. 5). Infeasible deadlines (Type I
+// events) are met as early as possible. It returns whether all original
+// deadlines are predicted to be met.
+func (o *Optimizer) Schedule(start simtime.Time, tasks []*Task) bool {
+	if len(tasks) == 0 {
+		return true
+	}
+	prob := ilp.Problem{Start: start}
+	configs := o.platform.Configs()
+	for _, t := range tasks {
+		item := ilp.Item{Deadline: t.Deadline.Add(-render.DisplayMargin)}
+		for _, cfg := range configs {
+			lat := o.cost.PredictLatency(t.Signature, cfg)
+			item.Choices = append(item.Choices, ilp.Choice{
+				Latency: lat,
+				Energy:  acmp.EnergyMJ(o.platform.Power(cfg), lat),
+			})
+		}
+		prob.Items = append(prob.Items, item)
+	}
+	sol := ilp.Solve(prob)
+	o.SolveCount++
+	o.NodeCount += sol.Nodes
+	for i, t := range tasks {
+		cfg := configs[sol.Choice[i]]
+		t.Config = cfg
+		t.EstimatedLatency = o.cost.PredictLatency(t.Signature, cfg)
+	}
+	return sol.Feasible
+}

@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"repro/internal/acmp"
+	"repro/internal/ilp"
+	"repro/internal/render"
+	"repro/internal/simtime"
+	"repro/internal/webevent"
+)
+
+// OracleWindow is how many upcoming events the oracle optimizes over in one
+// plan. The paper's oracle knows the entire event sequence; a bounded window
+// keeps the ILP tractable while remaining effectively global because plans
+// are recomputed as the session progresses.
+const OracleWindow = 12
+
+// Oracle is the upper-bound scheduler of the paper's evaluation: it has a
+// priori knowledge of the entire event sequence (types, trigger times and
+// workloads), never mis-predicts, and globally minimizes energy under every
+// event's QoS constraint.
+type Oracle struct {
+	platform *acmp.Platform
+	events   []*webevent.Event
+	nextIdx  int
+}
+
+// NewOracle creates an oracle for a specific trace.
+func NewOracle(p *acmp.Platform, events []*webevent.Event) *Oracle {
+	return &Oracle{platform: p, events: events}
+}
+
+// Name implements ProactivePolicy.
+func (o *Oracle) Name() string { return "Oracle" }
+
+// Observe implements ProactivePolicy.
+func (o *Oracle) Observe(e *webevent.Event) {
+	if e.Seq+1 > o.nextIdx {
+		o.nextIdx = e.Seq + 1
+	}
+}
+
+// Plan implements ProactivePolicy: it schedules the outstanding events plus
+// the next OracleWindow future events with exact workloads and deadlines.
+func (o *Oracle) Plan(start simtime.Time, outstanding []*webevent.Event) []SpecTask {
+	type entry struct {
+		ev        *webevent.Event
+		isPending bool
+	}
+	var entries []entry
+	first := o.nextIdx
+	for _, e := range outstanding {
+		entries = append(entries, entry{ev: e, isPending: true})
+		if e.Seq+1 > first {
+			first = e.Seq + 1
+		}
+	}
+	for i := first; i < len(o.events) && len(entries) < OracleWindow; i++ {
+		entries = append(entries, entry{ev: o.events[i]})
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+
+	configs := o.platform.Configs()
+	prob := ilp.Problem{Start: start}
+	for _, en := range entries {
+		item := ilp.Item{Deadline: en.ev.Deadline().Add(-render.DisplayMargin)}
+		for _, cfg := range configs {
+			lat := o.platform.Latency(en.ev.Work, cfg)
+			item.Choices = append(item.Choices, ilp.Choice{
+				Latency: lat,
+				Energy:  acmp.EnergyMJ(o.platform.Power(cfg), lat),
+			})
+		}
+		prob.Items = append(prob.Items, item)
+	}
+	sol := ilp.Solve(prob)
+
+	out := make([]SpecTask, 0, len(entries))
+	for i, en := range entries {
+		cfg := configs[sol.Choice[i]]
+		task := SpecTask{
+			Type:             en.ev.Type,
+			Signature:        en.ev.Signature(),
+			Config:           cfg,
+			EstimatedLatency: o.platform.Latency(en.ev.Work, cfg),
+			ExpectedTrigger:  en.ev.Trigger,
+		}
+		if en.isPending {
+			task.Event = en.ev
+		}
+		out = append(out, task)
+	}
+	return out
+}
+
+// ReactiveConfig implements ProactivePolicy: with perfect workload knowledge
+// the oracle picks the true minimum-energy configuration meeting the
+// deadline.
+func (o *Oracle) ReactiveConfig(e *webevent.Event, start simtime.Time) acmp.Config {
+	budget := e.Deadline().Sub(start) - render.DisplayMargin
+	best := acmp.Config{}
+	bestEnergy := 0.0
+	for _, cfg := range o.platform.Configs() {
+		lat := o.platform.Latency(e.Work, cfg)
+		if lat > budget {
+			continue
+		}
+		en := acmp.EnergyMJ(o.platform.Power(cfg), lat)
+		if best.IsZero() || en < bestEnergy {
+			best, bestEnergy = cfg, en
+		}
+	}
+	if best.IsZero() {
+		return o.platform.MaxPerformance()
+	}
+	return best
+}
+
+// ObserveExecution implements ProactivePolicy (the oracle needs no cost
+// model).
+func (o *Oracle) ObserveExecution(sig webevent.Signature, cfg acmp.Config, execLatency simtime.Duration) {
+}
+
+// OnCorrectPrediction implements ProactivePolicy.
+func (o *Oracle) OnCorrectPrediction() {}
+
+// OnMisprediction implements ProactivePolicy; it cannot happen for an
+// oracle.
+func (o *Oracle) OnMisprediction() {}
+
+// OnReactiveEvent implements ProactivePolicy.
+func (o *Oracle) OnReactiveEvent() {}
+
+// SpeculationEnabled implements ProactivePolicy.
+func (o *Oracle) SpeculationEnabled() bool { return true }
+
+var _ ProactivePolicy = (*Oracle)(nil)

@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"repro/internal/acmp"
+	"repro/internal/control"
+	"repro/internal/render"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/webevent"
+)
+
+// plannedTask is a speculative task queued for execution, annotated by the
+// simulator with the index of the trace event it is intended to predict so
+// that the execution can use the ground-truth workload when the prediction
+// is correct.
+type plannedTask struct {
+	task     sched.SpecTask
+	eventIdx int // index into the trace, or -1 when beyond the trace end
+}
+
+// inflightTask is a speculative task currently executing on the CPU.
+type inflightTask struct {
+	task          plannedTask
+	start, finish simtime.Time
+	energy        float64
+	committed     bool // the matching event already arrived; do not buffer the frame
+}
+
+// proactiveState is the runtime state of a proactive simulation: the plan
+// queue, the in-flight speculative execution, and the Pending Frame Buffer.
+type proactiveState struct {
+	plan        []plannedTask
+	inflight    *inflightTask
+	pfb         control.PFB
+	frameEnergy map[*render.Frame]float64
+	cpuFree     simtime.Time
+}
+
+// hasSpeculation reports whether any prediction is still outstanding. A
+// committed in-flight execution no longer counts: it belongs to an event
+// that has already arrived.
+func (s *proactiveState) hasSpeculation() bool {
+	return s.pfb.Size() > 0 || (s.inflight != nil && !s.inflight.committed) || len(s.plan) > 0
+}
+
+// headType returns the type of the next expected predicted event.
+func (s *proactiveState) headType() (webevent.Type, bool) {
+	if f, ok := s.pfb.Head(); ok {
+		return f.Type, true
+	}
+	if s.inflight != nil && !s.inflight.committed {
+		return s.inflight.task.task.Type, true
+	}
+	if len(s.plan) > 0 {
+		return s.plan[0].task.Type, true
+	}
+	return 0, false
+}
+
+// busyUntil returns the instant the CPU becomes free, accounting for an
+// in-flight execution.
+func (s *proactiveState) busyUntil() simtime.Time {
+	if s.inflight != nil && s.inflight.finish.After(s.cpuFree) {
+		return s.inflight.finish
+	}
+	return s.cpuFree
+}
+
+// RunProactive replays the events under a proactive policy (PES or Oracle).
+func RunProactive(p *acmp.Platform, app string, events []*webevent.Event, policy sched.ProactivePolicy) *Result {
+	res := &Result{Scheduler: policy.Name(), App: app}
+	m := &machine{platform: p, res: res}
+	st := &proactiveState{frameEnergy: make(map[*render.Frame]float64)}
+
+	// workFor returns the workload a speculative task will actually incur:
+	// the ground-truth work of the event it predicts when the prediction is
+	// correct, and a workload reconstructed from the estimate otherwise (the
+	// frame will be squashed, only its cost matters).
+	workFor := func(t plannedTask) acmp.Workload {
+		if t.eventIdx >= 0 && t.eventIdx < len(events) && events[t.eventIdx].Type == t.task.Type {
+			return events[t.eventIdx].Work
+		}
+		eff := float64(t.task.Config.FreqMHz) / p.Cluster(t.task.Config.Core).CPI
+		return acmp.Workload{Cycles: int64(float64(t.task.EstimatedLatency) * eff)}
+	}
+
+	// advance executes speculative work until the given instant.
+	advance := func(until simtime.Time) {
+		for {
+			if st.inflight != nil {
+				if st.inflight.finish.After(until) {
+					return
+				}
+				// Completes before `until`.
+				fl := st.inflight
+				fl.energy += m.chargeBusy(fl.task.task.Config, fl.start, fl.finish)
+				policy.ObserveExecution(fl.task.task.Signature, fl.task.task.Config, fl.finish.Sub(fl.start))
+				if !fl.committed {
+					frame := render.Produce(fl.task.task.Type, fl.task.task.Config, fl.start, fl.finish, true)
+					st.frameEnergy[frame] = fl.energy
+					st.pfb.Push(fl.task.task.Type, frame)
+				}
+				st.cpuFree = fl.finish
+				st.inflight = nil
+				continue
+			}
+			if len(st.plan) > 0 && policy.SpeculationEnabled() {
+				if !st.cpuFree.Before(until) {
+					return
+				}
+				// A hold-until-trigger task (e.g. a predicted load whose
+				// network requests are suppressed) blocks the speculative
+				// pipeline until its real event arrives; the CPU idles.
+				if st.plan[0].task.HoldUntilTrigger {
+					m.chargeIdle(until)
+					if until.After(st.cpuFree) {
+						st.cpuFree = until
+					}
+					return
+				}
+				// Speculative tasks execute as soon as the main thread is
+				// free, in plan order — the same as-soon-as-possible,
+				// back-to-back execution the optimizer's chain constraint
+				// (Eqn. 4) assumes.
+				t := st.plan[0]
+				st.plan = st.plan[1:]
+				start, swEnergy := m.switchTo(t.task.Config, st.cpuFree)
+				finish := start.Add(p.Latency(workFor(t), t.task.Config))
+				st.inflight = &inflightTask{task: t, start: start, finish: finish, energy: swEnergy}
+				continue
+			}
+			// Nothing to run: idle until `until`.
+			m.chargeIdle(until)
+			if until.After(st.cpuFree) {
+				st.cpuFree = until
+			}
+			return
+		}
+	}
+
+	// runNow executes an event (or planned task for an event) reactively and
+	// records its outcome.
+	runNow := func(e *webevent.Event, cfg acmp.Config, estimated bool) {
+		start := simtime.Max(e.Trigger, st.busyUntil())
+		m.chargeIdle(start)
+		now, energy := m.switchTo(cfg, start)
+		finish := now.Add(p.Latency(e.Work, cfg))
+		energy += m.chargeBusy(cfg, now, finish)
+		lat := render.DisplayLatency(e.Trigger, finish)
+		policy.ObserveExecution(e.Signature(), cfg, finish.Sub(now))
+		res.Outcomes = append(res.Outcomes, Outcome{
+			Event:    e,
+			Start:    start,
+			Finish:   finish,
+			Latency:  lat,
+			Violated: lat > e.QoSTarget(),
+			Config:   cfg,
+			EnergyMJ: energy,
+		})
+		st.cpuFree = finish
+		_ = estimated
+	}
+
+	// adoptPlan installs a freshly produced plan: tasks for outstanding
+	// events are returned to the caller (executed immediately), predicted
+	// tasks are queued for speculative execution.
+	adoptPlan := func(tasks []sched.SpecTask, nextEventIdx int) (outstandingTasks []sched.SpecTask) {
+		st.plan = st.plan[:0]
+		k := 0
+		for _, t := range tasks {
+			if t.Event != nil {
+				outstandingTasks = append(outstandingTasks, t)
+				continue
+			}
+			idx := nextEventIdx + k
+			if idx >= len(events) {
+				idx = -1
+			}
+			st.plan = append(st.plan, plannedTask{task: t, eventIdx: idx})
+			k++
+		}
+		return outstandingTasks
+	}
+
+	// squash drops every outstanding speculative artifact and accounts the
+	// waste.
+	squash := func(at simtime.Time) {
+		dropped, wasted := st.pfb.Squash()
+		res.SquashedFrames += dropped
+		res.MispredictWaste += wasted
+		for f := range st.frameEnergy {
+			// Energy of squashed frames stays charged (it was really spent)
+			// but is also tracked as waste.
+			res.WastedEnergyMJ += st.frameEnergy[f]
+			delete(st.frameEnergy, f)
+		}
+		if st.inflight != nil && !st.inflight.committed {
+			// Abort the in-flight speculative execution immediately. An
+			// in-flight execution that has already been committed belongs to
+			// an event that actually happened and is left to finish.
+			elapsed := at.Sub(st.inflight.start)
+			if elapsed < 0 {
+				elapsed = 0
+			}
+			e := m.chargeBusy(st.inflight.task.task.Config, st.inflight.start, at)
+			res.WastedEnergyMJ += e + st.inflight.energy
+			res.MispredictWaste += elapsed
+			res.SquashedFrames++
+			st.inflight = nil
+			st.cpuFree = at
+		}
+		st.plan = st.plan[:0]
+	}
+
+	for ai, e := range events {
+		advance(e.Trigger)
+		policy.Observe(e)
+
+		headType, hasHead := st.headType()
+		switch {
+		case hasHead && headType == e.Type:
+			policy.OnCorrectPrediction()
+			res.CommittedFrames++
+			if pf, ok := st.pfb.Head(); ok && pf.Type == e.Type {
+				st.pfb.Commit()
+				lat := render.DisplayLatency(e.Trigger, pf.Frame.Completed)
+				res.Outcomes = append(res.Outcomes, Outcome{
+					Event:       e,
+					Start:       pf.Frame.Started,
+					Finish:      pf.Frame.Completed,
+					Latency:     lat,
+					Violated:    lat > e.QoSTarget(),
+					Config:      pf.Frame.Config,
+					EnergyMJ:    st.frameEnergy[pf.Frame],
+					Speculative: true,
+				})
+				delete(st.frameEnergy, pf.Frame)
+			} else if st.inflight != nil && !st.inflight.committed {
+				// The matching speculative execution is still running; the
+				// frame commits when it completes.
+				fl := st.inflight
+				fl.committed = true
+				finish := fl.finish
+				lat := render.DisplayLatency(e.Trigger, finish)
+				res.Outcomes = append(res.Outcomes, Outcome{
+					Event:       e,
+					Start:       fl.start,
+					Finish:      finish,
+					Latency:     lat,
+					Violated:    lat > e.QoSTarget(),
+					Config:      fl.task.task.Config,
+					EnergyMJ:    acmp.EnergyMJ(p.Power(fl.task.task.Config), finish.Sub(fl.start)),
+					Speculative: true,
+				})
+			} else {
+				// Planned but not yet started: execute it now at the planned
+				// configuration.
+				t := st.plan[0]
+				st.plan = st.plan[1:]
+				runNow(e, t.task.Config, false)
+			}
+		case hasHead:
+			// Mis-prediction: squash everything and fall back to reactive
+			// handling of this event.
+			policy.OnMisprediction()
+			res.Mispredictions++
+			squash(e.Trigger)
+			if !policy.SpeculationEnabled() {
+				res.SpeculationStops++
+			}
+			handleReactively(e, ai, policy, st, adoptPlan, runNow)
+		default:
+			// No speculation outstanding (e.g. first event or disabled).
+			handleReactively(e, ai, policy, st, adoptPlan, runNow)
+		}
+
+		// When the whole predicted pipeline has drained, start a new round of
+		// prediction so that the idle gap before the next event can be used.
+		if !st.hasSpeculation() && policy.SpeculationEnabled() {
+			start := simtime.Max(e.Trigger, st.busyUntil())
+			tasks := policy.Plan(start, nil)
+			adoptPlan(tasks, ai+1)
+		}
+
+		res.PFBSamples = append(res.PFBSamples, PFBSample{Seq: e.Seq, Size: st.pfb.Size()})
+	}
+	res.finalize()
+	return res
+}
+
+// handleReactively executes an event that has no usable speculation: if the
+// policy can produce a plan covering it, the event runs at the planned
+// configuration and the plan's predicted tail is queued speculatively;
+// otherwise the policy's reactive (EBS-equivalent) configuration is used.
+func handleReactively(e *webevent.Event, ai int, policy sched.ProactivePolicy, st *proactiveState,
+	adoptPlan func([]sched.SpecTask, int) []sched.SpecTask,
+	runNow func(*webevent.Event, acmp.Config, bool)) {
+
+	policy.OnReactiveEvent()
+	start := simtime.Max(e.Trigger, st.busyUntil())
+	if policy.SpeculationEnabled() {
+		tasks := policy.Plan(start, []*webevent.Event{e})
+		if len(tasks) > 0 {
+			outstanding := adoptPlan(tasks, ai+1)
+			if len(outstanding) > 0 && outstanding[0].Event == e {
+				runNow(e, outstanding[0].Config, false)
+				return
+			}
+		}
+	}
+	runNow(e, policy.ReactiveConfig(e, start), true)
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/acmp"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/webevent"
+)
+
+// scriptedPolicy is a minimal proactive policy for exercising the proactive
+// driver's control paths (commit, mis-prediction squash, fallback) without
+// the full PES stack.
+type scriptedPolicy struct {
+	platform    *acmp.Platform
+	plans       [][]sched.SpecTask
+	planIdx     int
+	enabled     bool
+	mispredicts int
+	corrects    int
+	reactive    int
+}
+
+func (s *scriptedPolicy) Name() string                 { return "scripted" }
+func (s *scriptedPolicy) Observe(e *webevent.Event)    {}
+func (s *scriptedPolicy) OnCorrectPrediction()         { s.corrects++ }
+func (s *scriptedPolicy) OnMisprediction()             { s.mispredicts++ }
+func (s *scriptedPolicy) OnReactiveEvent()             { s.reactive++ }
+func (s *scriptedPolicy) SpeculationEnabled() bool     { return s.enabled }
+func (s *scriptedPolicy) ObserveExecution(sig webevent.Signature, cfg acmp.Config, d simtime.Duration) {
+}
+
+func (s *scriptedPolicy) Plan(now simtime.Time, outstanding []*webevent.Event) []sched.SpecTask {
+	if !s.enabled || s.planIdx >= len(s.plans) {
+		return nil
+	}
+	plan := s.plans[s.planIdx]
+	s.planIdx++
+	// Attach outstanding events to the head tasks if requested.
+	out := make([]sched.SpecTask, len(plan))
+	copy(out, plan)
+	for i := range out {
+		if i < len(outstanding) && out[i].Event == nil && i == 0 {
+			out[i].Event = outstanding[i]
+		}
+	}
+	return out
+}
+
+func (s *scriptedPolicy) ReactiveConfig(e *webevent.Event, start simtime.Time) acmp.Config {
+	return s.platform.MaxPerformance()
+}
+
+func mkEvents(p *acmp.Platform) []*webevent.Event {
+	mk := func(seq int, typ webevent.Type, atMS int64, cycles int64) *webevent.Event {
+		return &webevent.Event{
+			Seq: seq, App: "cnn", Type: typ,
+			Trigger: simtime.Time(atMS * int64(simtime.Millisecond)),
+			Work:    acmp.Workload{Tmem: 2 * simtime.Millisecond, Cycles: cycles},
+		}
+	}
+	return []*webevent.Event{
+		mk(0, webevent.Load, 100, 900e6),
+		mk(1, webevent.Scroll, 4000, 10e6),
+		mk(2, webevent.Scroll, 4700, 10e6),
+		mk(3, webevent.Click, 9000, 200e6),
+	}
+}
+
+func TestProactiveCommitPath(t *testing.T) {
+	p := acmp.Exynos5410()
+	events := mkEvents(p)
+	cfg := p.MaxPerformance()
+	task := func(typ webevent.Type, trigMS int64) sched.SpecTask {
+		return sched.SpecTask{
+			Type: typ, Signature: webevent.Signature{App: "cnn", Type: typ},
+			Config: cfg, EstimatedLatency: 20 * simtime.Millisecond,
+			ExpectedTrigger: simtime.Time(trigMS * int64(simtime.Millisecond)),
+		}
+	}
+	pol := &scriptedPolicy{
+		platform: p,
+		enabled:  true,
+		plans: [][]sched.SpecTask{
+			// Plan issued when the load arrives: load (outstanding) + the two
+			// scrolls and the click, all correctly predicted.
+			{task(webevent.Load, 100), task(webevent.Scroll, 4000), task(webevent.Scroll, 4700), task(webevent.Click, 9000)},
+		},
+	}
+	r := RunProactive(p, "cnn", events, pol)
+	if len(r.Outcomes) != len(events) {
+		t.Fatalf("outcomes %d", len(r.Outcomes))
+	}
+	if r.Mispredictions != 0 {
+		t.Fatalf("unexpected mispredictions: %d", r.Mispredictions)
+	}
+	if r.CommittedFrames != 3 {
+		t.Errorf("committed = %d, want 3 (the three predicted events)", r.CommittedFrames)
+	}
+	// The scroll and click events were speculated during the long gaps, so
+	// their latencies should be well below their QoS targets.
+	for _, o := range r.Outcomes[1:] {
+		if o.Violated {
+			t.Errorf("event %d should not violate after correct speculation (latency %v)", o.Event.Seq, o.Latency)
+		}
+	}
+}
+
+func TestProactiveMispredictionSquash(t *testing.T) {
+	p := acmp.Exynos5410()
+	events := mkEvents(p)
+	cfg := p.MaxPerformance()
+	pol := &scriptedPolicy{
+		platform: p,
+		enabled:  true,
+		plans: [][]sched.SpecTask{
+			// Wrong prediction: after the load we predict a click, but the
+			// next real event is a scroll → squash.
+			{
+				{Type: webevent.Load, Signature: webevent.Signature{App: "cnn", Type: webevent.Load}, Config: cfg,
+					EstimatedLatency: 600 * simtime.Millisecond, ExpectedTrigger: events[0].Trigger},
+				{Type: webevent.Click, Signature: webevent.Signature{App: "cnn", Type: webevent.Click}, Config: cfg,
+					EstimatedLatency: 150 * simtime.Millisecond, ExpectedTrigger: events[1].Trigger},
+			},
+		},
+	}
+	r := RunProactive(p, "cnn", events, pol)
+	if r.Mispredictions != 1 {
+		t.Fatalf("mispredictions = %d, want 1", r.Mispredictions)
+	}
+	if r.SquashedFrames == 0 || r.MispredictWaste <= 0 || r.WastedEnergyMJ <= 0 {
+		t.Error("squash should record waste")
+	}
+	if pol.mispredicts != 1 {
+		t.Error("policy should be notified of the mis-prediction")
+	}
+	// All events still execute and are accounted.
+	if len(r.Outcomes) != len(events) {
+		t.Fatalf("outcomes %d", len(r.Outcomes))
+	}
+}
+
+func TestProactiveDisabledBehavesReactively(t *testing.T) {
+	p := acmp.Exynos5410()
+	events := mkEvents(p)
+	pol := &scriptedPolicy{platform: p, enabled: false}
+	r := RunProactive(p, "cnn", events, pol)
+	if r.CommittedFrames != 0 || r.Mispredictions != 0 {
+		t.Error("disabled speculation should produce no speculative activity")
+	}
+	if pol.reactive != len(events) {
+		t.Errorf("all %d events should be handled reactively, got %d", len(events), pol.reactive)
+	}
+	for _, o := range r.Outcomes {
+		if o.Speculative {
+			t.Error("no outcome should be speculative")
+		}
+		if o.Config != p.MaxPerformance() {
+			t.Error("reactive fallback config should be used")
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package sim is the discrete-event simulator that replays an interaction
+// trace under a scheduler on an ACMP platform and measures what the paper
+// measures on real hardware: per-event latency against its QoS target and
+// the processor energy consumed over the whole session (busy, idle, and
+// speculation-wasted energy).
+//
+// Two drivers are provided. RunReactive drives schedulers that only react to
+// triggered events (the Interactive/Ondemand governors and EBS), including
+// the governors' periodic frequency re-evaluation during an event's
+// execution. RunProactive drives proactive schedulers (PES and the Oracle):
+// it executes speculative plans ahead of user input, holds the produced
+// frames in the Pending Frame Buffer, commits them when the real events
+// match the predictions, and squashes them on mis-predictions.
+package sim
+
+import (
+	"repro/internal/acmp"
+	"repro/internal/render"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/webevent"
+)
+
+// Outcome records the execution of one event.
+type Outcome struct {
+	// Event is the trace event.
+	Event *webevent.Event
+	// Start and Finish bound the event's (frame's) production on the CPU.
+	Start, Finish simtime.Time
+	// Latency is the user-perceived latency (trigger to display).
+	Latency simtime.Duration
+	// Violated reports whether the latency exceeded the QoS target.
+	Violated bool
+	// Config is the (final) ACMP configuration the event executed on.
+	Config acmp.Config
+	// EnergyMJ is the active energy attributed to the event's execution.
+	EnergyMJ float64
+	// Speculative marks events whose frame production began before the
+	// trigger (only possible under proactive scheduling).
+	Speculative bool
+}
+
+// PFBSample records the Pending Frame Buffer occupancy when an event occurs
+// (Fig. 9).
+type PFBSample struct {
+	Seq  int
+	Size int
+}
+
+// Result aggregates one simulation run.
+type Result struct {
+	Scheduler string
+	App       string
+
+	Outcomes []Outcome
+
+	// Energy breakdown in millijoules.
+	BusyEnergyMJ   float64
+	IdleEnergyMJ   float64
+	WastedEnergyMJ float64
+	TotalEnergyMJ  float64
+
+	// QoS summary.
+	Violations    int
+	ViolationRate float64
+
+	// Speculation summary (proactive schedulers only).
+	CommittedFrames  int
+	Mispredictions   int
+	SquashedFrames   int
+	MispredictWaste  simtime.Duration
+	PFBSamples       []PFBSample
+	SpeculationStops int
+
+	// Busy-time breakdown, used to reproduce observations such as
+	// "Interactive spends >80% of busy time at the big cluster's top
+	// frequency".
+	TotalBusy   simtime.Duration
+	BigBusy     simtime.Duration
+	MaxPerfBusy simtime.Duration
+
+	// Duration is the simulated session length (first trigger to last
+	// frame).
+	Duration simtime.Duration
+}
+
+// finalize computes the derived aggregates.
+func (r *Result) finalize() {
+	r.Violations = 0
+	for _, o := range r.Outcomes {
+		if o.Violated {
+			r.Violations++
+		}
+	}
+	if len(r.Outcomes) > 0 {
+		r.ViolationRate = float64(r.Violations) / float64(len(r.Outcomes))
+		first := r.Outcomes[0].Event.Trigger
+		last := r.Outcomes[0].Finish
+		for _, o := range r.Outcomes {
+			if o.Finish.After(last) {
+				last = o.Finish
+			}
+		}
+		r.Duration = last.Sub(first)
+	}
+	r.TotalEnergyMJ = r.BusyEnergyMJ + r.IdleEnergyMJ
+}
+
+// MeanLatency returns the mean user-perceived latency across outcomes.
+func (r *Result) MeanLatency() simtime.Duration {
+	if len(r.Outcomes) == 0 {
+		return 0
+	}
+	var sum simtime.Duration
+	for _, o := range r.Outcomes {
+		sum += o.Latency
+	}
+	return sum / simtime.Duration(len(r.Outcomes))
+}
+
+// machine tracks the shared CPU/energy accounting of a simulation run.
+type machine struct {
+	platform  *acmp.Platform
+	res       *Result
+	accounted simtime.Time // instant up to which energy has been charged
+	lastCfg   acmp.Config
+}
+
+// chargeIdle charges idle energy from the accounting cursor up to t.
+func (m *machine) chargeIdle(t simtime.Time) {
+	if t.After(m.accounted) {
+		m.res.IdleEnergyMJ += m.platform.IdleEnergy(t.Sub(m.accounted))
+		m.accounted = t
+	}
+}
+
+// chargeBusy charges active energy for an execution slice on cfg ending at
+// end, and tracks the busy-time breakdown. It returns the energy charged.
+func (m *machine) chargeBusy(cfg acmp.Config, start, end simtime.Time) float64 {
+	if !end.After(start) {
+		return 0
+	}
+	m.chargeIdle(start)
+	d := end.Sub(start)
+	e := acmp.EnergyMJ(m.platform.Power(cfg), d)
+	m.res.BusyEnergyMJ += e
+	m.res.TotalBusy += d
+	if cfg.Core == acmp.BigCore {
+		m.res.BigBusy += d
+	}
+	if cfg == m.platform.MaxPerformance() {
+		m.res.MaxPerfBusy += d
+	}
+	if end.After(m.accounted) {
+		m.accounted = end
+	}
+	return e
+}
+
+// switchTo charges the configuration-switch overhead (if any) starting at t
+// and returns the instant execution can begin plus the energy charged.
+func (m *machine) switchTo(cfg acmp.Config, t simtime.Time) (simtime.Time, float64) {
+	ov := m.platform.SwitchOverhead(m.lastCfg, cfg)
+	var e float64
+	if ov > 0 {
+		e = m.chargeBusy(cfg, t, t.Add(ov))
+		t = t.Add(ov)
+	}
+	m.lastCfg = cfg
+	return t, e
+}
+
+// RunReactive replays the events under a reactive policy.
+func RunReactive(p *acmp.Platform, app string, events []*webevent.Event, policy sched.ReactivePolicy) *Result {
+	res := &Result{Scheduler: policy.Name(), App: app}
+	m := &machine{platform: p, res: res}
+	var cpuFree simtime.Time
+
+	for _, e := range events {
+		start := simtime.Max(e.Trigger, cpuFree)
+		if start.After(cpuFree) {
+			policy.NoteIdle(cpuFree, start)
+		}
+		m.chargeIdle(start)
+
+		cfg := policy.ConfigAtStart(e, start)
+		now, energy := m.switchTo(cfg, start)
+
+		// Execute, re-consulting the governor every sampling quantum.
+		remaining := 1.0
+		for remaining > 1e-12 {
+			fullLat := p.Latency(e.Work, cfg)
+			if fullLat <= 0 {
+				remaining = 0
+				break
+			}
+			remTime := simtime.Duration(float64(fullLat) * remaining)
+			if remTime <= 0 {
+				remaining = 0
+				break
+			}
+			q := policy.Quantum()
+			if q > 0 && remTime > q {
+				energy += m.chargeBusy(cfg, now, now.Add(q))
+				now = now.Add(q)
+				remaining -= float64(q) / float64(fullLat)
+				if next := policy.Requantum(e, cfg, now.Sub(start)); next != cfg {
+					var se float64
+					now, se = m.switchTo(next, now)
+					energy += se
+					cfg = next
+				}
+			} else {
+				energy += m.chargeBusy(cfg, now, now.Add(remTime))
+				now = now.Add(remTime)
+				remaining = 0
+			}
+		}
+		finish := now
+		lat := render.DisplayLatency(e.Trigger, finish)
+		policy.Observe(e, cfg, start, finish.Sub(start))
+		res.Outcomes = append(res.Outcomes, Outcome{
+			Event:    e,
+			Start:    start,
+			Finish:   finish,
+			Latency:  lat,
+			Violated: lat > e.QoSTarget(),
+			Config:   cfg,
+			EnergyMJ: energy,
+		})
+		cpuFree = finish
+	}
+	res.finalize()
+	return res
+}

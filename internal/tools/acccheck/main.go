@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/webapp"
+	"repro/internal/webevent"
+)
+
+func main() {
+	learner, _, err := predictor.TrainOnSeenApps(8, 1000)
+	if err != nil {
+		panic(err)
+	}
+	eval := trace.GenerateCorpus(webapp.Registry(), 3, 500000, trace.PurposeEval, trace.Options{})
+	res, err := predictor.EvaluateAccuracy(learner, eval, true)
+	if err != nil {
+		panic(err)
+	}
+	resNo, _ := predictor.EvaluateAccuracy(learner, eval, false)
+	var seenSum, seenN, unseenSum, unseenN, noDomSum float64
+	for i, r := range res {
+		fmt.Printf("%-14s seen=%-5v acc=%.3f noDOM=%.3f n=%d\n", r.App, r.Seen, r.Accuracy, resNo[i].Accuracy, r.Events)
+		if r.Seen {
+			seenSum += r.Accuracy
+			seenN++
+		} else {
+			unseenSum += r.Accuracy
+			unseenN++
+		}
+		noDomSum += resNo[i].Accuracy
+	}
+	fmt.Printf("SEEN avg=%.3f UNSEEN avg=%.3f noDOM avg=%.3f\n", seenSum/seenN, unseenSum/unseenN, noDomSum/18)
+
+	// Confusion matrix (with DOM analysis) across the corpus.
+	confusion := map[[2]webevent.Type]int{}
+	for _, tr := range eval {
+		spec, _ := webapp.ByName(tr.App)
+		evs, _ := tr.Runtime()
+		p := predictor.New(learner, spec, tr.DOMSeed, predictor.DefaultConfig())
+		for i, e := range evs {
+			if i > 0 {
+				if pred, ok := p.PredictNext(); ok {
+					confusion[[2]webevent.Type{pred.Type, e.Type}]++
+				}
+			}
+			p.Observe(e)
+		}
+	}
+	fmt.Println("\npredicted -> actual : count (mismatches only)")
+	total, wrong := 0, 0
+	for k, v := range confusion {
+		total += v
+		if k[0] != k[1] {
+			wrong += v
+		}
+	}
+	for k, v := range confusion {
+		if k[0] != k[1] && v > wrong/30 {
+			fmt.Printf("  %-10s -> %-10s : %d (%.1f%% of errors)\n", k[0], k[1], v, 100*float64(v)/float64(wrong))
+		}
+	}
+	fmt.Printf("total=%d wrong=%d overall=%.3f\n", total, wrong, 1-float64(wrong)/float64(total))
+}

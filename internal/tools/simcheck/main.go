@@ -1,0 +1,59 @@
+// simcheck is a development tool that prints the headline energy/QoS
+// comparison across schedulers for a quick calibration check.
+package main
+import (
+	"fmt"
+	"repro/internal/acmp"
+	"repro/internal/core"
+	"repro/internal/predictor"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/webapp"
+)
+func main() {
+	platform := acmp.Exynos5410()
+	learner, _, err := predictor.TrainOnSeenApps(6, 1000)
+	if err != nil {
+		panic(err)
+	}
+	eval := trace.GenerateCorpus(webapp.SeenApps(), 2, 500000, trace.PurposeEval, trace.Options{})
+	type agg struct{ energy, busy, idle, waste, viol, n, mispred, committed, specOutcomes float64 }
+	sums := map[string]*agg{}
+	add := func(r *sim.Result) {
+		a := sums[r.Scheduler]
+		if a == nil {
+			a = &agg{}
+			sums[r.Scheduler] = a
+		}
+		a.energy += r.TotalEnergyMJ
+		a.busy += r.BusyEnergyMJ
+		a.idle += r.IdleEnergyMJ
+		a.waste += r.WastedEnergyMJ
+		a.viol += r.ViolationRate
+		a.mispred += float64(r.Mispredictions)
+		a.committed += float64(r.CommittedFrames)
+		for _, o := range r.Outcomes {
+			if o.Speculative {
+				a.specOutcomes++
+			}
+		}
+		a.n++
+	}
+	for _, tr := range eval {
+		evs, _ := tr.Runtime()
+		spec, _ := webapp.ByName(tr.App)
+		add(sim.RunReactive(platform, tr.App, evs, sched.NewInteractive(platform)))
+		add(sim.RunReactive(platform, tr.App, evs, sched.NewOndemand(platform)))
+		add(sim.RunReactive(platform, tr.App, evs, sched.NewEBS(platform)))
+		pes := core.NewPES(platform, learner, spec, tr.DOMSeed, predictor.DefaultConfig())
+		add(sim.RunProactive(platform, tr.App, evs, pes))
+		add(sim.RunProactive(platform, tr.App, evs, sched.NewOracle(platform, evs)))
+	}
+	base := sums["Interactive"].energy
+	for _, name := range []string{"Interactive", "Ondemand", "EBS", "PES", "Oracle"} {
+		a := sums[name]
+		fmt.Printf("%-12s normEnergy=%5.1f%%  QoSviol=%5.1f%%  busy=%.0f idle=%.0f waste=%.0f mispred=%.0f committed=%.0f spec=%.0f\n",
+			name, 100*a.energy/base, 100*a.viol/a.n, a.busy, a.idle, a.waste, a.mispred, a.committed, a.specOutcomes)
+	}
+}

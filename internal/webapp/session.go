@@ -1,0 +1,86 @@
+package webapp
+
+import (
+	"repro/internal/dom"
+	"repro/internal/webevent"
+)
+
+// Session tracks the DOM state of one user's interaction with an
+// application: the current page's DOM tree (and its semantic view), the
+// scroll position, expanded menus, and any pending navigation. Both the
+// trace generator and the runtime predictor replay events through a Session
+// so that they observe exactly the same DOM state for the same event
+// history.
+type Session struct {
+	Spec *Spec
+	// DOMSeed parameterizes the deterministic page builder; traces record it
+	// so that replay reconstructs identical pages.
+	DOMSeed int64
+
+	tree     *dom.Tree
+	semantic *dom.SemanticTree
+	// pendingPage is the destination of a navigation tap that has not yet
+	// been followed by its Load event.
+	pendingPage string
+	pageVisits  int
+}
+
+// NewSession starts a session on the application's home page.
+func NewSession(spec *Spec, domSeed int64) *Session {
+	s := &Session{Spec: spec, DOMSeed: domSeed}
+	s.loadPage("home")
+	return s
+}
+
+func (s *Session) loadPage(page string) {
+	s.tree = s.Spec.BuildPage(page, s.DOMSeed)
+	s.semantic = dom.BuildSemanticTree(s.tree)
+	s.pageVisits++
+}
+
+// Tree returns the current page's DOM tree.
+func (s *Session) Tree() *dom.Tree { return s.tree }
+
+// Semantic returns the semantic (accessibility) view of the current page.
+func (s *Session) Semantic() *dom.SemanticTree { return s.semantic }
+
+// PendingNavigation returns the page a navigation tap has committed to, or
+// "" when no navigation is outstanding.
+func (s *Session) PendingNavigation() string { return s.pendingPage }
+
+// PageVisits returns how many pages (including the initial home page) have
+// been loaded in this session.
+func (s *Session) PageVisits() int { return s.pageVisits }
+
+// CurrentPage returns the name of the page the session is on.
+func (s *Session) CurrentPage() string { return s.tree.Page }
+
+// Apply updates the DOM state in response to an event of the given type
+// delivered to the given node, and returns the resulting mutation. Load
+// events swap in the destination page (the pending navigation target, or the
+// home page when there is none, e.g. for the session's initial load).
+func (s *Session) Apply(typ webevent.Type, target dom.NodeID) dom.Mutation {
+	if typ == webevent.Load {
+		page := s.pendingPage
+		if page == "" {
+			page = "home"
+		}
+		// The very first load of the session lands on the already-built home
+		// page; rebuilding it is equivalent and keeps replay deterministic.
+		if !(s.pageVisits == 1 && page == "home" && s.tree.ViewportTop == 0) {
+			s.loadPage(page)
+		}
+		s.pendingPage = ""
+		return dom.Mutation{Kind: dom.Navigated, Page: page}
+	}
+	mut := s.tree.ApplyEvent(typ, target)
+	if mut.Kind == dom.Navigated {
+		s.pendingPage = mut.Page
+	}
+	return mut
+}
+
+// ApplyEvent is a convenience wrapper applying a runtime event.
+func (s *Session) ApplyEvent(e *webevent.Event) dom.Mutation {
+	return s.Apply(e.Type, dom.NodeID(e.Target))
+}

@@ -1,0 +1,136 @@
+package webevent
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestQoSTargets(t *testing.T) {
+	if LoadInteraction.QoSTarget() != 3*simtime.Second {
+		t.Errorf("load QoS = %v, want 3s", LoadInteraction.QoSTarget())
+	}
+	if TapInteraction.QoSTarget() != 300*simtime.Millisecond {
+		t.Errorf("tap QoS = %v, want 300ms", TapInteraction.QoSTarget())
+	}
+	if MoveInteraction.QoSTarget() != 33*simtime.Millisecond {
+		t.Errorf("move QoS = %v, want 33ms", MoveInteraction.QoSTarget())
+	}
+}
+
+func TestTypeInteractionMapping(t *testing.T) {
+	cases := map[Type]Interaction{
+		Load:       LoadInteraction,
+		Click:      TapInteraction,
+		TouchStart: TapInteraction,
+		Submit:     TapInteraction,
+		TouchMove:  MoveInteraction,
+		Scroll:     MoveInteraction,
+	}
+	for typ, want := range cases {
+		if got := typ.Interaction(); got != want {
+			t.Errorf("%v.Interaction() = %v, want %v", typ, got, want)
+		}
+	}
+	if !Click.IsTap() || Click.IsMove() {
+		t.Error("Click should be a tap")
+	}
+	if !Scroll.IsMove() || Scroll.IsTap() {
+		t.Error("Scroll should be a move")
+	}
+}
+
+func TestParseTypeRoundTrip(t *testing.T) {
+	for _, typ := range AllTypes() {
+		got, err := ParseType(typ.String())
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", typ.String(), err)
+		}
+		if got != typ {
+			t.Errorf("round trip %v -> %v", typ, got)
+		}
+	}
+	if _, err := ParseType("bogus"); err == nil {
+		t.Error("expected error for unknown type")
+	}
+}
+
+func TestAllTypesCount(t *testing.T) {
+	if len(AllTypes()) != NumTypes {
+		t.Errorf("AllTypes has %d entries, NumTypes = %d", len(AllTypes()), NumTypes)
+	}
+	if NumInteractions != 3 {
+		t.Errorf("NumInteractions = %d, want 3", NumInteractions)
+	}
+}
+
+func TestEventDeadlineAndSignature(t *testing.T) {
+	e := &Event{
+		Seq:     4,
+		App:     "cnn",
+		Type:    Click,
+		Trigger: simtime.Time(10 * simtime.Second),
+	}
+	if e.QoSTarget() != 300*simtime.Millisecond {
+		t.Errorf("QoSTarget = %v", e.QoSTarget())
+	}
+	want := simtime.Time(10*simtime.Second + 300*simtime.Millisecond)
+	if e.Deadline() != want {
+		t.Errorf("Deadline = %v, want %v", e.Deadline(), want)
+	}
+	sig := e.Signature()
+	if sig.App != "cnn" || sig.Type != Click {
+		t.Errorf("Signature = %+v", sig)
+	}
+	if e.String() == "" {
+		t.Error("String should not be empty")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	var q Queue
+	if q.Pop() != nil || q.Peek() != nil || q.Len() != 0 {
+		t.Error("empty queue misbehaves")
+	}
+	e1 := &Event{Seq: 1}
+	e2 := &Event{Seq: 2}
+	e3 := &Event{Seq: 3}
+	q.Push(e1)
+	q.Push(e2)
+	q.Push(e3)
+	if q.Len() != 3 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	if q.Peek() != e1 {
+		t.Error("Peek should return first event")
+	}
+	snap := q.Snapshot()
+	if len(snap) != 3 || snap[0] != e1 || snap[2] != e3 {
+		t.Error("Snapshot wrong")
+	}
+	if q.Pop() != e1 || q.Pop() != e2 || q.Pop() != e3 || q.Pop() != nil {
+		t.Error("Pop order wrong")
+	}
+	// Snapshot must be a copy.
+	q.Push(e1)
+	s := q.Snapshot()
+	s[0] = e2
+	if q.Peek() != e1 {
+		t.Error("Snapshot aliases queue storage")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if Load.String() != "load" || Click.String() != "click" || Submit.String() != "submit" {
+		t.Error("type names wrong")
+	}
+	if Type(99).String() == "" || Interaction(99).String() == "" {
+		t.Error("unknown values should render something")
+	}
+	if LoadInteraction.String() != "load" || TapInteraction.String() != "tap" || MoveInteraction.String() != "move" {
+		t.Error("interaction names wrong")
+	}
+	if Interaction(99).QoSTarget() != 300*simtime.Millisecond {
+		t.Error("unknown interaction should default to the tap target")
+	}
+}

@@ -1,0 +1,165 @@
+// Package pes is the public API of the PES reproduction: Proactive Event
+// Scheduling for responsive and energy-efficient mobile Web computing
+// (Feng & Zhu, ISCA 2019), rebuilt as a pure-Go simulation library.
+//
+// The package is a facade over the internal packages. A typical use:
+//
+//	learner, _, err := pes.TrainPredictor(8, 1)         // offline training
+//	spec, _ := pes.AppByName("cnn")                      // pick an application
+//	tr := pes.GenerateTrace(spec, 42)                    // a user session
+//	events, _ := tr.Runtime()
+//	platform := pes.Exynos5410()
+//	scheduler := pes.NewPES(platform, learner, spec, tr.DOMSeed, pes.DefaultPredictorConfig())
+//	result := pes.RunProactive(platform, tr.App, events, scheduler)
+//	fmt.Println(result.ViolationRate, result.TotalEnergyMJ)
+//
+// The full evaluation of the paper is regenerated through NewExperiments /
+// Experiments.All (also available as the cmd/pes-experiments binary).
+package pes
+
+import (
+	"repro/internal/acmp"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/predictor"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/webapp"
+	"repro/internal/webevent"
+)
+
+// Hardware platform models.
+type (
+	// Platform is an ACMP hardware model (clusters, DVFS ladders, power).
+	Platform = acmp.Platform
+	// Config is one <core, frequency> operating point.
+	Config = acmp.Config
+	// Workload is the Tmem/Ndep description of one event execution.
+	Workload = acmp.Workload
+)
+
+// Exynos5410 returns the ODROID XU+E platform model used as the paper's
+// primary evaluation hardware.
+func Exynos5410() *Platform { return acmp.Exynos5410() }
+
+// TX2Parker returns the NVIDIA TX2 platform model used in the paper's
+// "other devices" study.
+func TX2Parker() *Platform { return acmp.TX2Parker() }
+
+// Applications and traces.
+type (
+	// AppSpec describes one mobile Web application of the benchmark suite.
+	AppSpec = webapp.Spec
+	// Trace is one recorded user interaction session.
+	Trace = trace.Trace
+	// TraceOptions controls synthetic trace generation.
+	TraceOptions = trace.Options
+	// Event is one runtime event instance.
+	Event = webevent.Event
+)
+
+// Apps returns the full 18-application benchmark suite (12 seen + 6 unseen).
+func Apps() []*AppSpec { return webapp.Registry() }
+
+// SeenApps returns the 12 applications whose traces train the predictor.
+func SeenApps() []*AppSpec { return webapp.SeenApps() }
+
+// UnseenApps returns the 6 evaluation-only applications.
+func UnseenApps() []*AppSpec { return webapp.UnseenApps() }
+
+// AppByName looks up an application spec by name.
+func AppByName(name string) (*AppSpec, error) { return webapp.ByName(name) }
+
+// GenerateTrace produces a synthetic user interaction trace for an
+// application with default options (≈110 s session).
+func GenerateTrace(spec *AppSpec, seed int64) *Trace {
+	return trace.Generate(spec, seed, trace.Options{})
+}
+
+// GenerateTraceWith produces a trace with explicit options.
+func GenerateTraceWith(spec *AppSpec, seed int64, opts TraceOptions) *Trace {
+	return trace.Generate(spec, seed, opts)
+}
+
+// Predictor training and configuration.
+type (
+	// SequenceLearner is the trained event sequence model.
+	SequenceLearner = predictor.SequenceLearner
+	// PredictorConfig controls the predictor (confidence threshold, DOM
+	// analysis toggle).
+	PredictorConfig = predictor.Config
+)
+
+// DefaultPredictorConfig returns the paper's predictor configuration (70%
+// confidence threshold, DOM analysis on).
+func DefaultPredictorConfig() PredictorConfig { return predictor.DefaultConfig() }
+
+// TrainPredictor trains the event sequence learner on synthetic traces of
+// the seen applications (tracesPerApp per application) and returns it.
+func TrainPredictor(tracesPerApp int, seed int64) (*SequenceLearner, error) {
+	learner, _, err := predictor.TrainOnSeenApps(tracesPerApp, seed)
+	return learner, err
+}
+
+// Schedulers.
+type (
+	// ReactiveScheduler is the contract of reactive schedulers.
+	ReactiveScheduler = sched.ReactivePolicy
+	// ProactiveScheduler is the contract of proactive schedulers.
+	ProactiveScheduler = sched.ProactivePolicy
+	// PES is the paper's proactive event scheduler.
+	PES = core.PES
+)
+
+// NewInteractive returns the Android Interactive governor baseline.
+func NewInteractive(p *Platform) ReactiveScheduler { return sched.NewInteractive(p) }
+
+// NewOndemand returns the Ondemand governor baseline.
+func NewOndemand(p *Platform) ReactiveScheduler { return sched.NewOndemand(p) }
+
+// NewEBS returns the reactive QoS-aware EBS baseline.
+func NewEBS(p *Platform) ReactiveScheduler { return sched.NewEBS(p) }
+
+// NewOracle returns the oracle scheduler for a specific event sequence.
+func NewOracle(p *Platform, events []*Event) ProactiveScheduler { return sched.NewOracle(p, events) }
+
+// NewPES builds the PES scheduler for one application session.
+func NewPES(p *Platform, learner *SequenceLearner, spec *AppSpec, domSeed int64, cfg PredictorConfig) *PES {
+	return core.NewPES(p, learner, spec, domSeed, cfg)
+}
+
+// Simulation.
+type (
+	// Result aggregates one simulated session (energy, QoS, speculation).
+	Result = sim.Result
+	// Outcome is the per-event record of a simulation.
+	Outcome = sim.Outcome
+)
+
+// RunReactive replays events under a reactive scheduler.
+func RunReactive(p *Platform, app string, events []*Event, policy ReactiveScheduler) *Result {
+	return sim.RunReactive(p, app, events, policy)
+}
+
+// RunProactive replays events under a proactive scheduler (PES or Oracle).
+func RunProactive(p *Platform, app string, events []*Event, policy ProactiveScheduler) *Result {
+	return sim.RunProactive(p, app, events, policy)
+}
+
+// Experiments.
+type (
+	// Experiments is the harness that regenerates the paper's figures.
+	Experiments = experiments.Setup
+	// ExperimentConfig parameterizes the harness.
+	ExperimentConfig = experiments.Config
+	// ResultTable is a printable experiment result.
+	ResultTable = experiments.Table
+)
+
+// DefaultExperimentConfig returns the paper-equivalent harness settings.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// NewExperiments prepares the experiment harness (trains the predictor and
+// generates the evaluation corpus).
+func NewExperiments(cfg ExperimentConfig) (*Experiments, error) { return experiments.NewSetup(cfg) }
