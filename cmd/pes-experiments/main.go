@@ -6,6 +6,7 @@
 //	pes-experiments                 # run everything (Fig. 2–14, overheads, ablations)
 //	pes-experiments -fig fig11      # run a single experiment
 //	pes-experiments -traces 5       # more evaluation traces per application
+//	pes-experiments -parallel 8     # simulate sessions on 8 workers (0 = NumCPU)
 package main
 
 import (
@@ -23,12 +24,14 @@ func main() {
 	traces := flag.Int("traces", 3, "evaluation traces per application")
 	train := flag.Int("train", 8, "training traces per seen application")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	parallel := flag.Int("parallel", 0, "simulation worker-pool size (0 = number of CPUs, 1 = serial)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	cfg.EvalTracesPerApp = *traces
 	cfg.TrainTracesPerApp = *train
 	cfg.Seed = *seed
+	cfg.Parallel = *parallel
 
 	setup, err := experiments.NewSetup(cfg)
 	if err != nil {
@@ -76,7 +79,9 @@ func main() {
 			log.Fatalf("pes-experiments: %v", err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "completed %d experiment(s)\n", len(tables))
+	st := setup.Runner.Stats()
+	fmt.Fprintf(os.Stderr, "completed %d experiment(s): %d sessions requested, %d simulated on %d worker(s), %d served from cache\n",
+		len(tables), st.Sessions, st.UniqueRuns, setup.Runner.Workers(), st.CacheHits)
 }
 
 func one(t *experiments.Table, err error) ([]*experiments.Table, error) {

@@ -1,26 +1,34 @@
-// Command pes-sim simulates one synthetic user session of one application
+// Command pes-sim simulates synthetic user sessions of one application
 // under a chosen scheduler and prints per-event and aggregate results.
+//
+// By default it simulates one session. With -sessions N it replays N
+// sessions (user seeds seed..seed+N-1) through the concurrent batch runner
+// and prints per-session and averaged aggregates:
+//
+//	pes-sim -app cnn -scheduler ebs
+//	pes-sim -app ebay -scheduler pes -sessions 16 -parallel 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"strings"
 
 	"repro/internal/acmp"
-	"repro/internal/core"
+	"repro/internal/batch"
+	"repro/internal/engine"
 	"repro/internal/predictor"
-	"repro/internal/sched"
-	"repro/internal/sim"
+	"repro/internal/sessions"
 	"repro/internal/trace"
 	"repro/internal/webapp"
 )
 
 func main() {
 	app := flag.String("app", "cnn", "application name (see pes-trace -list)")
-	seed := flag.Int64("seed", 42, "user/session seed")
+	seed := flag.Int64("seed", 42, "user/session seed (first seed with -sessions > 1)")
 	scheduler := flag.String("scheduler", "pes", "scheduler: interactive, ondemand, ebs, pes, oracle")
+	nSessions := flag.Int("sessions", 1, "number of sessions to simulate (seeds seed..seed+N-1)")
+	parallel := flag.Int("parallel", 0, "simulation worker-pool size (0 = number of CPUs, 1 = serial)")
 	verbose := flag.Bool("v", false, "print per-event outcomes")
 	flag.Parse()
 
@@ -28,35 +36,60 @@ func main() {
 	if err != nil {
 		log.Fatalf("pes-sim: %v", err)
 	}
+	if *nSessions < 1 {
+		log.Fatalf("pes-sim: -sessions must be at least 1")
+	}
+	schedName, err := sessions.Canonical(*scheduler)
+	if err != nil {
+		log.Fatalf("pes-sim: %v", err)
+	}
 	platform := acmp.Exynos5410()
-	tr := trace.Generate(spec, *seed, trace.Options{})
-	events, err := tr.Runtime()
+
+	// The PES predictor is trained once and shared read-only by every
+	// session.
+	var learner *predictor.SequenceLearner
+	if schedName == sessions.PES {
+		learner, _, err = predictor.TrainOnSeenApps(6, 1)
+		if err != nil {
+			log.Fatalf("pes-sim: training: %v", err)
+		}
+	}
+
+	specs := make([]batch.Session, 0, *nSessions)
+	for i := 0; i < *nSessions; i++ {
+		tr := trace.Generate(spec, *seed+int64(i), trace.Options{})
+		sess, err := sessions.New(sessions.Spec{
+			Platform:  platform,
+			Trace:     tr,
+			Scheduler: schedName,
+			Learner:   learner,
+			Predictor: predictor.DefaultConfig(),
+		})
+		if err != nil {
+			log.Fatalf("pes-sim: %v", err)
+		}
+		specs = append(specs, sess)
+	}
+	runner := batch.NewRunner(*parallel)
+	results, err := runner.Run(specs)
 	if err != nil {
 		log.Fatalf("pes-sim: %v", err)
 	}
 
-	var result *sim.Result
-	switch strings.ToLower(*scheduler) {
-	case "interactive":
-		result = sim.RunReactive(platform, *app, events, sched.NewInteractive(platform))
-	case "ondemand":
-		result = sim.RunReactive(platform, *app, events, sched.NewOndemand(platform))
-	case "ebs":
-		result = sim.RunReactive(platform, *app, events, sched.NewEBS(platform))
-	case "oracle":
-		result = sim.RunProactive(platform, *app, events, sched.NewOracle(platform, events))
-	case "pes":
-		learner, _, err := predictor.TrainOnSeenApps(6, 1)
-		if err != nil {
-			log.Fatalf("pes-sim: training: %v", err)
+	for i, result := range results {
+		if *nSessions > 1 {
+			fmt.Printf("--- session seed=%d ---\n", *seed+int64(i))
 		}
-		pes := core.NewPES(platform, learner, spec, tr.DOMSeed, predictor.DefaultConfig())
-		result = sim.RunProactive(platform, *app, events, pes)
-	default:
-		log.Fatalf("pes-sim: unknown scheduler %q", *scheduler)
+		printResult(result, *verbose)
 	}
+	if *nSessions > 1 {
+		printAverages(results)
+		fmt.Printf("batch: %d sessions on %d worker(s)\n", *nSessions, runner.Workers())
+	}
+}
 
-	if *verbose {
+func printResult(result *engine.Result, verbose bool) {
+	if verbose {
 		for _, o := range result.Outcomes {
 			status := "ok"
 			if o.Violated {
@@ -75,4 +108,15 @@ func main() {
 		fmt.Printf("speculation: committed=%d mispredictions=%d squashed=%d waste=%s\n",
 			result.CommittedFrames, result.Mispredictions, result.SquashedFrames, result.MispredictWaste)
 	}
+}
+
+func printAverages(results []*engine.Result) {
+	var energy, viol float64
+	for _, r := range results {
+		energy += r.TotalEnergyMJ
+		viol += r.ViolationRate
+	}
+	n := float64(len(results))
+	fmt.Printf("--- batch average over %d sessions ---\n", len(results))
+	fmt.Printf("energy: %.1f mJ/session, qos violations: %.1f%%\n", energy/n, 100*viol/n)
 }

@@ -1,0 +1,66 @@
+// Batch sessions: simulate many user sessions of one application
+// concurrently through the public batch API, with memoized results — the
+// README's batch quickstart as a runnable program.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro"
+)
+
+func main() {
+	learner, err := pes.TrainPredictor(6, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := pes.AppByName("ebay")
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform := pes.Exynos5410()
+
+	// 16 sessions (seeds 1..16) under PES, plus seed 1 requested twice to
+	// show memoization.
+	var sessions []pes.BatchSession
+	for _, seed := range append([]int64{1}, seedRange(1, 16)...) {
+		s, err := pes.NewSession(pes.SessionSpec{
+			Platform:  platform,
+			Trace:     pes.GenerateTrace(spec, seed),
+			Scheduler: "PES",
+			Learner:   learner,
+			Predictor: pes.DefaultPredictorConfig(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+
+	runner := pes.NewBatchRunner(0) // one worker per CPU
+	results, err := runner.Run(sessions)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var energy, viol float64
+	for _, r := range results {
+		energy += r.TotalEnergyMJ
+		viol += r.ViolationRate
+	}
+	n := float64(len(results))
+	st := runner.Stats()
+	fmt.Printf("%d sessions of %s under PES on %d worker(s): %d simulated, %d cache hits\n",
+		len(results), spec.Name, runtime.NumCPU(), st.UniqueRuns, st.CacheHits)
+	fmt.Printf("average energy %.1f mJ/session, QoS violations %.1f%%\n", energy/n, 100*viol/n)
+}
+
+func seedRange(lo, hi int64) []int64 {
+	var out []int64
+	for s := lo; s <= hi; s++ {
+		out = append(out, s)
+	}
+	return out
+}

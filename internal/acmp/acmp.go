@@ -129,14 +129,21 @@ func (p *Platform) Cluster(c CoreType) *Cluster {
 // Configs enumerates every <core, frequency> configuration of the platform,
 // little cluster first, each cluster in ascending frequency order. The slice
 // is cached and must not be mutated by callers.
+//
+// The cache is not synchronized: populate it from one goroutine (the
+// standard constructors do so eagerly; sessions.New forces it for
+// hand-built platforms) before sharing the platform across simulation
+// workers.
 func (p *Platform) Configs() []Config {
 	if p.configs == nil {
+		var cfgs []Config
 		for _, f := range p.Little.FreqsMHz {
-			p.configs = append(p.configs, Config{LittleCore, f})
+			cfgs = append(cfgs, Config{LittleCore, f})
 		}
 		for _, f := range p.Big.FreqsMHz {
-			p.configs = append(p.configs, Config{BigCore, f})
+			cfgs = append(cfgs, Config{BigCore, f})
 		}
+		p.configs = cfgs
 	}
 	return p.configs
 }
@@ -261,7 +268,7 @@ func ladder(lo, hi, step int) []int {
 func Exynos5410() *Platform {
 	littleFreqs := ladder(350, 600, 50)
 	bigFreqs := ladder(800, 1800, 100)
-	return &Platform{
+	p := &Platform{
 		Name: "Exynos5410",
 		Little: Cluster{
 			Core:     LittleCore,
@@ -281,6 +288,8 @@ func Exynos5410() *Platform {
 		MigrationLatency: 20 * simtime.Microsecond,
 		IdlePowerMW:      140,
 	}
+	p.Configs() // populate the cache before the platform is shared
+	return p
 }
 
 // TX2Parker returns the ACMP model of the NVIDIA Parker SoC on the TX2 board
@@ -291,7 +300,7 @@ func Exynos5410() *Platform {
 func TX2Parker() *Platform {
 	littleFreqs := ladder(350, 1200, 50)
 	bigFreqs := ladder(500, 2000, 100)
-	return &Platform{
+	p := &Platform{
 		Name: "TX2Parker",
 		Little: Cluster{
 			Core:     LittleCore,
@@ -309,4 +318,6 @@ func TX2Parker() *Platform {
 		MigrationLatency: 20 * simtime.Microsecond,
 		IdlePowerMW:      170,
 	}
+	p.Configs() // populate the cache before the platform is shared
+	return p
 }

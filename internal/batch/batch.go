@@ -1,0 +1,187 @@
+// Package batch is the concurrent batch-session runner on top of the
+// unified simulation engine. An experiment sweep simulates the same user
+// sessions many times over — the same (platform, app, trace seed, scheduler,
+// predictor configuration) tuple reappears across figures — so the runner
+// memoizes results by that tuple and executes distinct sessions in parallel
+// on a worker pool. Each unique session simulates exactly once per Runner,
+// no matter how many times or how concurrently it is requested.
+package batch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
+
+// Key identifies one unique session simulation. Two sessions with equal keys
+// must be guaranteed by the caller to produce identical results; the runner
+// then simulates only one of them.
+type Key struct {
+	// Platform is the hardware model name (e.g. "Exynos5410").
+	Platform string
+	// App is the application name.
+	App string
+	// TraceSeed is the user/session seed the trace was generated from.
+	TraceSeed int64
+	// Scheduler is the scheduler name (e.g. "PES").
+	Scheduler string
+	// Predictor is a canonical encoding of the predictor configuration, or
+	// empty for schedulers that have none.
+	Predictor string
+	// Variant distinguishes any further state the simulation depends on
+	// that the fields above do not capture — e.g. a trace fingerprint when
+	// traces are generated with non-default options, or the identity of a
+	// shared trained model. Leave empty when the other fields fully
+	// determine the result.
+	Variant string
+}
+
+// Session is one unit of batch work: the memoization key plus the function
+// that simulates the session on a cache miss. Run must be self-contained
+// (construct its own scheduler instance) so that sessions can execute on
+// any worker concurrently.
+type Session struct {
+	Key Key
+	Run func() (*engine.Result, error)
+}
+
+// Stats reports the work a Runner has performed.
+type Stats struct {
+	// Sessions is the number of sessions requested.
+	Sessions int64
+	// UniqueRuns is the number of simulations actually executed.
+	UniqueRuns int64
+	// CacheHits is the number of sessions served from the memo cache.
+	CacheHits int64
+}
+
+// Runner executes batches of sessions on a worker pool with a memoized
+// result cache. A Runner is safe for concurrent use and may be reused
+// across batches; the cache persists for its lifetime.
+type Runner struct {
+	workers int
+
+	mu    sync.Mutex
+	cache map[Key]*entry
+
+	sessions   atomic.Int64
+	uniqueRuns atomic.Int64
+	cacheHits  atomic.Int64
+}
+
+// entry is a singleflight-style cache slot: the first requester simulates,
+// concurrent requesters for the same key block on the Once and then share
+// the result.
+type entry struct {
+	once sync.Once
+	res  *engine.Result
+	err  error
+}
+
+// NewRunner creates a runner with the given worker-pool size; workers <= 0
+// selects runtime.NumCPU().
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Runner{workers: workers, cache: make(map[Key]*entry)}
+}
+
+// Workers returns the worker-pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// Stats returns a snapshot of the runner's counters.
+func (r *Runner) Stats() Stats {
+	return Stats{
+		Sessions:   r.sessions.Load(),
+		UniqueRuns: r.uniqueRuns.Load(),
+		CacheHits:  r.cacheHits.Load(),
+	}
+}
+
+// entryFor returns the cache slot for a key, creating it if needed.
+func (r *Runner) entryFor(k Key) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.cache[k]
+	if !ok {
+		e = &entry{}
+		r.cache[k] = e
+	}
+	return e
+}
+
+// one resolves a single session through the cache.
+func (r *Runner) one(s Session) (*engine.Result, error) {
+	r.sessions.Add(1)
+	e := r.entryFor(s.Key)
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		r.uniqueRuns.Add(1)
+		e.res, e.err = s.Run()
+	})
+	if hit {
+		r.cacheHits.Add(1)
+	}
+	return e.res, e.err
+}
+
+// Run simulates every session and returns the results index-aligned with
+// the input. Duplicate keys — within the batch or across earlier batches —
+// are served from the cache. On error the first error is returned and the
+// corresponding results are nil; the remaining sessions still complete.
+func (r *Runner) Run(sessions []Session) ([]*engine.Result, error) {
+	out := make([]*engine.Result, len(sessions))
+	workers := r.workers
+	if workers > len(sessions) {
+		workers = len(sessions)
+	}
+	if workers <= 1 {
+		var firstErr error
+		for i, s := range sessions {
+			res, err := r.one(s)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			out[i] = res
+		}
+		return out, firstErr
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := r.one(sessions[i])
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				out[i] = res
+			}
+		}()
+	}
+	for i := range sessions {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out, firstErr
+}

@@ -1,0 +1,218 @@
+package batch
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/acmp"
+	"repro/internal/engine"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/webapp"
+)
+
+// ebsSession builds a real (but cheap) session: one EBS simulation of a
+// short synthetic trace.
+func ebsSession(t testing.TB, app string, seed int64) Session {
+	t.Helper()
+	spec, err := webapp.ByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := acmp.Exynos5410()
+	return Session{
+		Key: Key{Platform: p.Name, App: app, TraceSeed: seed, Scheduler: "EBS"},
+		Run: func() (*engine.Result, error) {
+			tr := trace.Generate(spec, seed, trace.Options{MaxEvents: 25})
+			evs, err := tr.Runtime()
+			if err != nil {
+				return nil, err
+			}
+			return engine.RunReactive(p, app, evs, sched.NewEBS(p)), nil
+		},
+	}
+}
+
+func TestRunnerMemoizesDuplicateSessions(t *testing.T) {
+	r := NewRunner(4)
+	var sessions []Session
+	// 40 sessions over 5 unique keys, interleaved.
+	for i := 0; i < 40; i++ {
+		sessions = append(sessions, ebsSession(t, "cnn", int64(i%5)))
+	}
+	out, err := r.Run(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Sessions != 40 || st.UniqueRuns != 5 || st.CacheHits != 35 {
+		t.Errorf("stats = %+v, want 40 sessions / 5 unique / 35 hits", st)
+	}
+	for i, res := range out {
+		if res == nil {
+			t.Fatalf("result %d missing", i)
+		}
+		// Duplicate keys share one result instance.
+		if res != out[i%5] {
+			t.Errorf("result %d not memoized", i)
+		}
+	}
+	// A second batch with the same keys is served entirely from the cache.
+	out2, err := r.Run(sessions[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.UniqueRuns != 5 {
+		t.Errorf("second batch re-simulated: %+v", st)
+	}
+	for i := range out2 {
+		if out2[i] != out[i] {
+			t.Errorf("second batch result %d differs", i)
+		}
+	}
+}
+
+// TestRunnerConcurrentCache hammers one runner from many goroutines with
+// overlapping keys; run under -race this exercises the cache's concurrency
+// safety, and the engine results must stay deterministic.
+func TestRunnerConcurrentCache(t *testing.T) {
+	r := NewRunner(8)
+	want, err := r.Run([]Session{ebsSession(t, "ebay", 1), ebsSession(t, "ebay", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var sessions []Session
+			for i := 0; i < 10; i++ {
+				sessions = append(sessions, ebsSession(t, "ebay", int64(1+(g+i)%4)))
+			}
+			out, err := r.Run(sessions)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i, res := range out {
+				if res == nil {
+					t.Errorf("goroutine %d: result %d missing", g, i)
+					continue
+				}
+				if res.TotalEnergyMJ <= 0 || len(res.Outcomes) == 0 {
+					t.Errorf("goroutine %d: result %d empty", g, i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := r.Stats(); st.UniqueRuns != 4 {
+		t.Errorf("unique runs = %d, want 4", st.UniqueRuns)
+	}
+	// Deterministic: re-requesting the first keys returns the same instances.
+	again, err := r.Run([]Session{ebsSession(t, "ebay", 1), ebsSession(t, "ebay", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != want[0] || again[1] != want[1] {
+		t.Error("cached results changed identity across concurrent batches")
+	}
+}
+
+func TestRunnerPropagatesErrors(t *testing.T) {
+	r := NewRunner(2)
+	boom := errors.New("boom")
+	sessions := []Session{
+		ebsSession(t, "cnn", 1),
+		{Key: Key{App: "bad", Scheduler: "x"}, Run: func() (*engine.Result, error) { return nil, boom }},
+		ebsSession(t, "cnn", 2),
+	}
+	out, err := r.Run(sessions)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if out[1] != nil {
+		t.Error("failed session should have nil result")
+	}
+	if out[0] == nil || out[2] == nil {
+		t.Error("healthy sessions should still complete")
+	}
+	// The error is memoized like a result.
+	if _, err := r.Run(sessions[1:2]); !errors.Is(err, boom) {
+		t.Error("memoized error lost")
+	}
+}
+
+func TestRunnerWorkerDefaults(t *testing.T) {
+	if NewRunner(0).Workers() < 1 {
+		t.Error("default worker count must be at least 1")
+	}
+	if got := NewRunner(7).Workers(); got != 7 {
+		t.Errorf("workers = %d, want 7", got)
+	}
+	// A serial runner handles duplicate keys without deadlocking.
+	r := NewRunner(1)
+	out, err := r.Run([]Session{ebsSession(t, "cnn", 3), ebsSession(t, "cnn", 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != out[1] {
+		t.Error("serial runner should memoize too")
+	}
+}
+
+// TestRunnerParallelMatchesSerial checks that a parallel batch produces
+// field-identical results to a serial one — the concurrency must not leak
+// into the simulation.
+func TestRunnerParallelMatchesSerial(t *testing.T) {
+	var sessions []Session
+	for seed := int64(1); seed <= 6; seed++ {
+		sessions = append(sessions, ebsSession(t, "espn", seed))
+	}
+	serial, err := NewRunner(1).Run(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewRunner(6).Run(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sessions {
+		s, p := serial[i], parallel[i]
+		if s.TotalEnergyMJ != p.TotalEnergyMJ || s.Violations != p.Violations ||
+			len(s.Outcomes) != len(p.Outcomes) {
+			t.Errorf("session %d: serial %v/%d differs from parallel %v/%d",
+				i, s.TotalEnergyMJ, s.Violations, p.TotalEnergyMJ, p.Violations)
+		}
+	}
+}
+
+func ExampleRunner() {
+	r := NewRunner(2)
+	p := acmp.Exynos5410()
+	spec, _ := webapp.ByName("cnn")
+	mk := func(seed int64) Session {
+		return Session{
+			Key: Key{Platform: p.Name, App: "cnn", TraceSeed: seed, Scheduler: "EBS"},
+			Run: func() (*engine.Result, error) {
+				tr := trace.Generate(spec, seed, trace.Options{MaxEvents: 10})
+				evs, err := tr.Runtime()
+				if err != nil {
+					return nil, err
+				}
+				return engine.RunReactive(p, "cnn", evs, sched.NewEBS(p)), nil
+			},
+		}
+	}
+	// Three requests, two unique sessions: seed 7 simulates once.
+	out, err := r.Run([]Session{mk(7), mk(8), mk(7)})
+	if err != nil {
+		panic(err)
+	}
+	st := r.Stats()
+	fmt.Println(len(out), st.UniqueRuns, st.CacheHits, out[0] == out[2])
+	// Output: 3 2 1 true
+}

@@ -1,4 +1,4 @@
-package sim
+package engine
 
 import (
 	"testing"
@@ -172,10 +172,10 @@ func TestResultFinalizeEmpty(t *testing.T) {
 	}
 }
 
-func TestMachineAccounting(t *testing.T) {
+func TestContextAccounting(t *testing.T) {
 	p := acmp.Exynos5410()
 	res := &Result{}
-	m := &machine{platform: p, res: res}
+	m := &Context{platform: p, res: res}
 	cfg := p.MaxPerformance()
 	// Idle then busy then idle.
 	m.chargeIdle(simtime.Time(100 * simtime.Millisecond))

@@ -1,4 +1,4 @@
-package sim
+package engine
 
 import (
 	"testing"
@@ -22,12 +22,12 @@ type scriptedPolicy struct {
 	reactive    int
 }
 
-func (s *scriptedPolicy) Name() string                 { return "scripted" }
-func (s *scriptedPolicy) Observe(e *webevent.Event)    {}
-func (s *scriptedPolicy) OnCorrectPrediction()         { s.corrects++ }
-func (s *scriptedPolicy) OnMisprediction()             { s.mispredicts++ }
-func (s *scriptedPolicy) OnReactiveEvent()             { s.reactive++ }
-func (s *scriptedPolicy) SpeculationEnabled() bool     { return s.enabled }
+func (s *scriptedPolicy) Name() string              { return "scripted" }
+func (s *scriptedPolicy) Observe(e *webevent.Event) {}
+func (s *scriptedPolicy) OnCorrectPrediction()      { s.corrects++ }
+func (s *scriptedPolicy) OnMisprediction()          { s.mispredicts++ }
+func (s *scriptedPolicy) OnReactiveEvent()          { s.reactive++ }
+func (s *scriptedPolicy) SpeculationEnabled() bool  { return s.enabled }
 func (s *scriptedPolicy) ObserveExecution(sig webevent.Signature, cfg acmp.Config, d simtime.Duration) {
 }
 

@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"repro/internal/acmp"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/webevent"
+)
+
+// reactiveAdapter drives a sched.ReactivePolicy on the unified engine:
+// events execute only after their trigger, one at a time, with the governor
+// re-consulted every sampling quantum.
+type reactiveAdapter struct {
+	policy sched.ReactivePolicy
+}
+
+// RunReactive replays the events under a reactive policy.
+func RunReactive(p *acmp.Platform, app string, events []*webevent.Event, policy sched.ReactivePolicy) *Result {
+	return Run(p, app, events, &reactiveAdapter{policy: policy})
+}
+
+func (a *reactiveAdapter) Name() string { return a.policy.Name() }
+
+// Advance implements Policy: a reactive scheduler leaves the CPU idle until
+// the trigger; the idle gap is reported to the governor's utilization
+// window.
+func (a *reactiveAdapter) Advance(ec *Context, until simtime.Time) {
+	if until.After(ec.cpuFree) {
+		a.policy.NoteIdle(ec.cpuFree, until)
+	}
+}
+
+// Dispatch implements Policy: pick the starting configuration, execute with
+// periodic re-evaluation, and record the outcome.
+func (a *reactiveAdapter) Dispatch(ec *Context, e *webevent.Event, idx int) {
+	start := simtime.Max(e.Trigger, ec.cpuFree)
+	cfg := a.policy.ConfigAtStart(e, start)
+	_, finish, final, energy := ec.execute(e, cfg, start, a.policy.Quantum(),
+		func(current acmp.Config, elapsed simtime.Duration) acmp.Config {
+			return a.policy.Requantum(e, current, elapsed)
+		})
+	a.policy.Observe(e, final, start, finish.Sub(start))
+	ec.addOutcome(e, start, finish, final, energy, false)
+	ec.cpuFree = finish
+}
+
+// AfterDispatch implements Policy (no post-event bookkeeping reactively).
+func (a *reactiveAdapter) AfterDispatch(ec *Context, e *webevent.Event, idx int) {}

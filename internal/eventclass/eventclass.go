@@ -8,8 +8,8 @@ import (
 	"fmt"
 
 	"repro/internal/acmp"
+	"repro/internal/engine"
 	"repro/internal/render"
-	"repro/internal/sim"
 	"repro/internal/simtime"
 )
 
@@ -52,7 +52,7 @@ func (c Class) String() string {
 }
 
 // Classify assigns an executed event to its category.
-func Classify(p *acmp.Platform, o sim.Outcome) Class {
+func Classify(p *acmp.Platform, o engine.Outcome) Class {
 	ev := o.Event
 	// Would the event have met its target on the fastest configuration with
 	// a full budget (no interference)?
@@ -72,7 +72,7 @@ func Classify(p *acmp.Platform, o sim.Outcome) Class {
 
 // Distribution summarizes the class mix of a simulation result as fractions
 // that sum to 1 (for a non-empty result).
-func Distribution(p *acmp.Platform, r *sim.Result) [NumClasses]float64 {
+func Distribution(p *acmp.Platform, r *engine.Result) [NumClasses]float64 {
 	var counts [NumClasses]int
 	for _, o := range r.Outcomes {
 		counts[Classify(p, o)]++

@@ -4,8 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/acmp"
+	"repro/internal/engine"
 	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/simtime"
 	"repro/internal/trace"
 	"repro/internal/webapp"
@@ -17,9 +17,9 @@ func TestClassifyRules(t *testing.T) {
 	light := acmp.Workload{Tmem: 2 * simtime.Millisecond, Cycles: 8e6}
 	heavy := acmp.Workload{Tmem: 50 * simtime.Millisecond, Cycles: 900e6} // > 300ms even at max
 
-	mk := func(typ webevent.Type, work acmp.Workload, startDelay, latency simtime.Duration, violated bool) sim.Outcome {
+	mk := func(typ webevent.Type, work acmp.Workload, startDelay, latency simtime.Duration, violated bool) engine.Outcome {
 		ev := &webevent.Event{Type: typ, Trigger: simtime.Time(10 * simtime.Second), Work: work}
-		return sim.Outcome{
+		return engine.Outcome{
 			Event:    ev,
 			Start:    ev.Trigger.Add(startDelay),
 			Finish:   ev.Trigger.Add(startDelay + latency),
@@ -58,7 +58,7 @@ func TestDistributionSumsToOne(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := sim.RunReactive(p, "cnn", evs, sched.NewEBS(p))
+	r := engine.RunReactive(p, "cnn", evs, sched.NewEBS(p))
 	d := Distribution(p, r)
 	sum := 0.0
 	for _, f := range d {
@@ -71,7 +71,7 @@ func TestDistributionSumsToOne(t *testing.T) {
 		t.Errorf("distribution sums to %v", sum)
 	}
 	// Empty result yields all zeros.
-	empty := Distribution(p, &sim.Result{})
+	empty := Distribution(p, &engine.Result{})
 	for _, f := range empty {
 		if f != 0 {
 			t.Error("empty distribution should be zero")

@@ -186,3 +186,95 @@ func TestUnknownSchedulerRejected(t *testing.T) {
 		t.Error("expected error for unknown scheduler")
 	}
 }
+
+// TestRunnerMemoizesAcrossFigures checks the batch layer underneath the
+// harness: figures drawing on the same sessions (Fig. 11, 12, 13 all sweep
+// every scheduler) must not re-simulate them.
+func TestRunnerMemoizesAcrossFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness tests are slow")
+	}
+	cfg := DefaultConfig()
+	cfg.TrainTracesPerApp = 2
+	cfg.EvalTracesPerApp = 1
+	s, err := NewSetup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fig11(); err != nil {
+		t.Fatal(err)
+	}
+	after11 := s.Runner.Stats().UniqueRuns
+	if after11 == 0 {
+		t.Fatal("Fig11 simulated nothing")
+	}
+	if _, err := s.Fig12(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fig13(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Runner.Stats()
+	// Fig12 adds no schedulers beyond Fig11's four; Fig13 adds only Ondemand.
+	extra := st.UniqueRuns - after11
+	if want := int64(len(s.Eval)); extra != want {
+		t.Errorf("Fig12+Fig13 simulated %d new sessions, want %d (Ondemand only)", extra, want)
+	}
+	if st.CacheHits == 0 {
+		t.Error("expected cache hits across figures")
+	}
+}
+
+// TestParallelHarnessMatchesSerial runs a small campaign twice — serial and
+// on a 4-worker pool — and requires identical figure values: concurrency
+// must not change the science.
+func TestParallelHarnessMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness tests are slow")
+	}
+	newSetup := func(workers int) *Setup {
+		// Each setup gets its own Config (and so its own fresh Platform):
+		// sharing one platform would let the serial run pre-warm lazy state
+		// and hide shared-state races from the parallel run.
+		cfg := DefaultConfig()
+		cfg.TrainTracesPerApp = 2
+		cfg.EvalTracesPerApp = 1
+		cfg.Parallel = workers
+		s, err := NewSetup(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	parallel := newSetup(4)
+	serial := newSetup(1)
+	for name, gen := range map[string]func(*Setup) (*Table, error){
+		"fig11": (*Setup).Fig11,
+		"fig12": (*Setup).Fig12,
+	} {
+		// Parallel first, so its workers hit any lazily-initialized shared
+		// state cold.
+		pt, err := gen(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := gen(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.Rows) != len(pt.Rows) {
+			t.Fatalf("%s: row count differs", name)
+		}
+		for i, sr := range st.Rows {
+			pr := pt.Rows[i]
+			if sr.Label != pr.Label {
+				t.Fatalf("%s: row %d label %q vs %q", name, i, sr.Label, pr.Label)
+			}
+			for j, sv := range sr.Values {
+				if sv != pr.Values[j] {
+					t.Errorf("%s: %s[%d] = %v serial vs %v parallel", name, sr.Label, j, sv, pr.Values[j])
+				}
+			}
+		}
+	}
+}

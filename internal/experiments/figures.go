@@ -4,11 +4,11 @@ import (
 	"time"
 
 	"repro/internal/acmp"
+	"repro/internal/engine"
 	"repro/internal/eventclass"
 	"repro/internal/mlr"
 	"repro/internal/predictor"
 	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/simtime"
 	"repro/internal/webapp"
 	"repro/internal/webevent"
@@ -46,7 +46,7 @@ func (s *Setup) Fig2() (*Table, error) {
 			"paper: OS and EBS violate deadlines on E2/E3 (and E4 for OS); the oracle meets all four and cuts energy by ~1/4 vs EBS",
 		},
 	}
-	addRun := func(name string, r *sim.Result) {
+	addRun := func(name string, r *engine.Result) {
 		vals := make([]float64, 0, 6)
 		viol := 0.0
 		for _, o := range r.Outcomes {
@@ -58,9 +58,9 @@ func (s *Setup) Fig2() (*Table, error) {
 		vals = append(vals, viol, r.TotalEnergyMJ)
 		t.AddRow(name, vals...)
 	}
-	addRun(SchedInteractive, sim.RunReactive(p, "cnn", events, sched.NewInteractive(p)))
-	addRun(SchedEBS, sim.RunReactive(p, "cnn", events, sched.NewEBS(p)))
-	addRun(SchedOracle, sim.RunProactive(p, "cnn", events, sched.NewOracle(p, events)))
+	addRun(SchedInteractive, engine.RunReactive(p, "cnn", events, sched.NewInteractive(p)))
+	addRun(SchedEBS, engine.RunReactive(p, "cnn", events, sched.NewEBS(p)))
+	addRun(SchedOracle, engine.RunProactive(p, "cnn", events, sched.NewOracle(p, events)))
 	return t, nil
 }
 
@@ -295,11 +295,11 @@ func (s *Setup) Fig10() (*Table, error) {
 		Columns: []string{"waste ms", "mispredictions"},
 		Notes:   []string{"paper: ~20 ms average for both seen and unseen applications"},
 	}
-	waste, err := s.perApp(SchedPES, func(r *sim.Result) float64 { return r.MispredictWaste.Millis() })
+	waste, err := s.perApp(SchedPES, func(r *engine.Result) float64 { return r.MispredictWaste.Millis() })
 	if err != nil {
 		return nil, err
 	}
-	count, err := s.perApp(SchedPES, func(r *sim.Result) float64 { return float64(r.Mispredictions) })
+	count, err := s.perApp(SchedPES, func(r *engine.Result) float64 { return float64(r.Mispredictions) })
 	if err != nil {
 		return nil, err
 	}
@@ -332,7 +332,7 @@ func (s *Setup) Fig11() (*Table, error) {
 	}
 	energies := make(map[string]map[string]float64)
 	for _, name := range t.Columns {
-		e, err := s.perApp(name, func(r *sim.Result) float64 { return r.TotalEnergyMJ })
+		e, err := s.perApp(name, func(r *engine.Result) float64 { return r.TotalEnergyMJ })
 		if err != nil {
 			return nil, err
 		}
@@ -372,7 +372,7 @@ func (s *Setup) Fig12() (*Table, error) {
 	}
 	viols := make(map[string]map[string]float64)
 	for _, name := range t.Columns {
-		v, err := s.perApp(name, func(r *sim.Result) float64 { return 100 * r.ViolationRate })
+		v, err := s.perApp(name, func(r *engine.Result) float64 { return 100 * r.ViolationRate })
 		if err != nil {
 			return nil, err
 		}
@@ -410,11 +410,11 @@ func (s *Setup) Fig13() (*Table, error) {
 	schedulers := []string{SchedInteractive, SchedOndemand, SchedEBS, SchedPES, SchedOracle}
 	baseEnergy := 0.0
 	for _, name := range schedulers {
-		energy, err := s.perApp(name, func(r *sim.Result) float64 { return r.TotalEnergyMJ })
+		energy, err := s.perApp(name, func(r *engine.Result) float64 { return r.TotalEnergyMJ })
 		if err != nil {
 			return nil, err
 		}
-		viol, err := s.perApp(name, func(r *sim.Result) float64 { return 100 * r.ViolationRate })
+		viol, err := s.perApp(name, func(r *engine.Result) float64 { return 100 * r.ViolationRate })
 		if err != nil {
 			return nil, err
 		}
@@ -455,22 +455,15 @@ func (s *Setup) Fig14(thresholds []float64) (*Table, error) {
 			"paper: benefits saturate below a ~70% threshold and vanish at 100% (prediction effectively disabled)",
 		},
 	}
-	p := s.Config.Platform
 	for _, th := range thresholds {
+		cfg := s.Config.Predictor
+		cfg.ConfidenceThreshold = th
+		rs, err := s.runCorpus(s.Config.Platform, SchedPES, cfg)
+		if err != nil {
+			return nil, err
+		}
 		var energy, viol float64
-		for _, tr := range s.Eval {
-			evs, err := tr.Runtime()
-			if err != nil {
-				return nil, err
-			}
-			spec, err := webapp.ByName(tr.App)
-			if err != nil {
-				return nil, err
-			}
-			cfg := s.Config.Predictor
-			cfg.ConfidenceThreshold = th
-			pes := corePESForThreshold(s, spec, tr, cfg)
-			r := sim.RunProactive(p, tr.App, evs, pes)
+		for _, r := range rs {
 			energy += r.TotalEnergyMJ
 			viol += r.ViolationRate
 		}
@@ -539,27 +532,24 @@ func (s *Setup) OverheadTable() (*Table, error) {
 // saving versus Interactive on the NVIDIA TX2 Parker platform model.
 func (s *Setup) OtherDeviceTX2() (*Table, error) {
 	tx2 := acmp.TX2Parker()
-	cfg := s.Config
-	cfg.Platform = tx2
 	t := &Table{
 		ID:      "sec6.5-tx2",
 		Title:   "PES on the TX2 Parker platform (energy saving vs Interactive, %)",
 		Columns: []string{"saving %"},
 		Notes:   []string{"paper: ~24.6% energy saving vs Interactive on the TX2"},
 	}
+	interRs, err := s.runCorpus(tx2, SchedInteractive, s.Config.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	pesRs, err := s.runCorpus(tx2, SchedPES, s.Config.Predictor)
+	if err != nil {
+		return nil, err
+	}
 	var interactive, pesEnergy float64
-	for _, tr := range s.Eval {
-		evs, err := tr.Runtime()
-		if err != nil {
-			return nil, err
-		}
-		spec, err := webapp.ByName(tr.App)
-		if err != nil {
-			return nil, err
-		}
-		interactive += sim.RunReactive(tx2, tr.App, evs, sched.NewInteractive(tx2)).TotalEnergyMJ
-		pes := corePESForThreshold(&Setup{Config: cfg, Learner: s.Learner}, spec, tr, cfg.Predictor)
-		pesEnergy += sim.RunProactive(tx2, tr.App, evs, pes).TotalEnergyMJ
+	for i := range s.Eval {
+		interactive += interRs[i].TotalEnergyMJ
+		pesEnergy += pesRs[i].TotalEnergyMJ
 	}
 	t.AddRow("PES vs Interactive", 100*(interactive-pesEnergy)/interactive)
 	return t, nil

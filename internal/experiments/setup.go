@@ -4,21 +4,22 @@ import (
 	"fmt"
 
 	"repro/internal/acmp"
+	"repro/internal/batch"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/predictor"
-	"repro/internal/sched"
-	"repro/internal/sim"
+	"repro/internal/sessions"
 	"repro/internal/trace"
 	"repro/internal/webapp"
 )
 
 // Scheduler names used across tables.
 const (
-	SchedInteractive = "Interactive"
-	SchedOndemand    = "Ondemand"
-	SchedEBS         = "EBS"
-	SchedPES         = "PES"
-	SchedOracle      = "Oracle"
+	SchedInteractive = sessions.Interactive
+	SchedOndemand    = sessions.Ondemand
+	SchedEBS         = sessions.EBS
+	SchedPES         = sessions.PES
+	SchedOracle      = sessions.Oracle
 )
 
 // Config parameterizes the experiment harness. The defaults reproduce the
@@ -39,6 +40,9 @@ type Config struct {
 	Seed int64
 	// Predictor carries the PES predictor configuration.
 	Predictor predictor.Config
+	// Parallel is the batch runner's worker-pool size; 0 selects the number
+	// of CPUs, 1 forces serial simulation.
+	Parallel int
 }
 
 // DefaultConfig returns the paper-equivalent configuration.
@@ -72,18 +76,18 @@ func (c Config) withDefaults() Config {
 }
 
 // Setup holds the shared state of one experiment campaign: the trained
-// predictor, the evaluation corpus, and cached simulation results so that
-// figures drawing on the same runs (e.g. Fig. 11, 12 and 13) do not repeat
-// them.
+// predictor, the evaluation corpus, and the batch-session runner whose
+// memoized cache guarantees that figures drawing on the same sessions (e.g.
+// Fig. 11, 12 and 13) simulate each one exactly once.
 type Setup struct {
 	Config  Config
 	Learner *predictor.SequenceLearner
 	Train   trace.Corpus
 	Eval    trace.Corpus
 
-	// results caches per-scheduler, per-trace simulation results keyed by
-	// scheduler name; the slice is index-aligned with Eval.
-	results map[string][]*sim.Result
+	// Runner executes simulation sessions concurrently and memoizes their
+	// results by (platform, app, trace seed, scheduler, predictor config).
+	Runner *batch.Runner
 }
 
 // NewSetup trains the predictor on the seen applications and generates the
@@ -102,7 +106,7 @@ func NewSetup(cfg Config) (*Setup, error) {
 		Learner: learner,
 		Train:   train,
 		Eval:    eval,
-		results: make(map[string][]*sim.Result),
+		Runner:  batch.NewRunner(cfg.Parallel),
 	}, nil
 }
 
@@ -115,53 +119,38 @@ func (s *Setup) NewPES(tr *trace.Trace) (*core.PES, error) {
 	return core.NewPES(s.Config.Platform, s.Learner, spec, tr.DOMSeed, s.Config.Predictor), nil
 }
 
-// corePESForThreshold builds a PES instance with an explicit predictor
-// configuration (used by the sensitivity and other-device studies).
-func corePESForThreshold(s *Setup, spec *webapp.Spec, tr *trace.Trace, predCfg predictor.Config) *core.PES {
-	return core.NewPES(s.Config.Platform, s.Learner, spec, tr.DOMSeed, predCfg)
-}
-
-// runScheduler simulates every evaluation trace under the named scheduler,
-// caching the results.
-func (s *Setup) runScheduler(name string) ([]*sim.Result, error) {
-	if rs, ok := s.results[name]; ok {
-		return rs, nil
-	}
-	p := s.Config.Platform
-	out := make([]*sim.Result, 0, len(s.Eval))
+// runCorpus simulates every trace of the evaluation corpus under the named
+// scheduler on the given platform/predictor configuration; results are
+// index-aligned with the corpus. PES sessions carry the predictor
+// configuration in their memo key, so a sensitivity sweep that revisits the
+// default threshold shares the baseline PES runs.
+func (s *Setup) runCorpus(p *acmp.Platform, name string, predCfg predictor.Config) ([]*engine.Result, error) {
+	specs := make([]batch.Session, 0, len(s.Eval))
 	for _, tr := range s.Eval {
-		evs, err := tr.Runtime()
+		sess, err := sessions.New(sessions.Spec{
+			Platform:  p,
+			Trace:     tr,
+			Scheduler: name,
+			Learner:   s.Learner,
+			Predictor: predCfg,
+		})
 		if err != nil {
 			return nil, err
 		}
-		var r *sim.Result
-		switch name {
-		case SchedInteractive:
-			r = sim.RunReactive(p, tr.App, evs, sched.NewInteractive(p))
-		case SchedOndemand:
-			r = sim.RunReactive(p, tr.App, evs, sched.NewOndemand(p))
-		case SchedEBS:
-			r = sim.RunReactive(p, tr.App, evs, sched.NewEBS(p))
-		case SchedPES:
-			pes, err := s.NewPES(tr)
-			if err != nil {
-				return nil, err
-			}
-			r = sim.RunProactive(p, tr.App, evs, pes)
-		case SchedOracle:
-			r = sim.RunProactive(p, tr.App, evs, sched.NewOracle(p, evs))
-		default:
-			return nil, fmt.Errorf("experiments: unknown scheduler %q", name)
-		}
-		out = append(out, r)
+		specs = append(specs, sess)
 	}
-	s.results[name] = out
-	return out, nil
+	return s.Runner.Run(specs)
 }
 
-// perApp aggregates a metric of the cached results per application, in
+// runScheduler simulates every evaluation trace under the named scheduler on
+// the default platform; the batch runner memoizes the results.
+func (s *Setup) runScheduler(name string) ([]*engine.Result, error) {
+	return s.runCorpus(s.Config.Platform, name, s.Config.Predictor)
+}
+
+// perApp aggregates a metric of the scheduler's results per application, in
 // registry order.
-func (s *Setup) perApp(name string, metric func(*sim.Result) float64) (map[string]float64, error) {
+func (s *Setup) perApp(name string, metric func(*engine.Result) float64) (map[string]float64, error) {
 	rs, err := s.runScheduler(name)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,176 @@
+// Package sessions bridges traces and scheduler names to batch sessions: it
+// is the one place that knows how to construct every scheduler and run it on
+// the unified engine, shared by the experiment harness, cmd/pes-sim, and the
+// simcheck tool.
+package sessions
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	"repro/internal/acmp"
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/predictor"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/webapp"
+)
+
+// Canonical scheduler names (also used as batch memo keys and result
+// labels).
+const (
+	Interactive = "Interactive"
+	Ondemand    = "Ondemand"
+	EBS         = "EBS"
+	PES         = "PES"
+	Oracle      = "Oracle"
+)
+
+// Names lists every scheduler in presentation order.
+func Names() []string { return []string{Interactive, Ondemand, EBS, PES, Oracle} }
+
+// Canonical resolves a case-insensitive scheduler name to its canonical
+// form.
+func Canonical(name string) (string, error) {
+	for _, n := range Names() {
+		if strings.EqualFold(name, n) {
+			return n, nil
+		}
+	}
+	return "", fmt.Errorf("sessions: unknown scheduler %q", name)
+}
+
+// Spec describes one session simulation: a trace replayed under a named
+// scheduler on a platform. Learner and Predictor are consulted only for
+// PES.
+type Spec struct {
+	Platform  *acmp.Platform
+	Trace     *trace.Trace
+	Scheduler string
+	// Learner is the trained sequence model shared (read-only) by PES
+	// sessions.
+	Learner *predictor.SequenceLearner
+	// Predictor is the PES predictor configuration; it participates in the
+	// memo key so that sweeps over it cache correctly.
+	Predictor predictor.Config
+}
+
+// learnerIDs assigns each trained learner a stable per-process identifier
+// for memo keys. The map retains the learner, so an identifier can never be
+// reused for a different instance (unlike a raw pointer address); the pin is
+// bounded by the number of trainings in the process.
+var (
+	learnerMu  sync.Mutex
+	learnerIDs = map[*predictor.SequenceLearner]int{}
+)
+
+func learnerID(l *predictor.SequenceLearner) int {
+	learnerMu.Lock()
+	defer learnerMu.Unlock()
+	id, ok := learnerIDs[l]
+	if !ok {
+		id = len(learnerIDs) + 1
+		learnerIDs[l] = id
+	}
+	return id
+}
+
+// predictorKey canonically encodes a predictor configuration for session
+// memoization.
+func predictorKey(cfg predictor.Config) string {
+	return fmt.Sprintf("ct=%g,deg=%d,dom=%t", cfg.ConfidenceThreshold, cfg.MaxDegree, cfg.UseDOMAnalysis)
+}
+
+// fingerprint hashes the platform parameters and the full trace content.
+// (Platform.Name, App, Seed) alone do not pin the simulation inputs: a
+// caller may tweak an exported platform field without renaming it, or load
+// or edit a trace whose events differ from the generated ones. Only the
+// exported, pointer-free fields are hashed (fmt prints them
+// deterministically); the Platform's unexported lazily-built config cache
+// must stay out of the hash.
+func fingerprint(p *acmp.Platform, tr *trace.Trace) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%+v|%+v|%d|%d|%g|%d|%d|",
+		p.Name, p.Little, p.Big, p.DVFSLatency, p.MigrationLatency, p.IdlePowerMW, tr.DOMSeed, len(tr.Events))
+	for i := range tr.Events {
+		fmt.Fprintf(h, "%+v;", tr.Events[i])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// New builds the self-contained batch session for a spec. The returned
+// session constructs its own scheduler instance on each (cache-miss) run,
+// so it can execute on any worker concurrently.
+func New(s Spec) (batch.Session, error) {
+	name, err := Canonical(s.Scheduler)
+	if err != nil {
+		return batch.Session{}, err
+	}
+	p, tr := s.Platform, s.Trace
+	// Populate the platform's lazy config cache now, from this goroutine:
+	// the run closure may execute on any batch worker concurrently with
+	// other sessions sharing the platform.
+	p.Configs()
+	key := batch.Key{
+		Platform:  p.Name,
+		App:       tr.App,
+		TraceSeed: tr.Seed,
+		Scheduler: name,
+		Variant:   fingerprint(p, tr),
+	}
+	var run func() (*engine.Result, error)
+	switch name {
+	case Interactive, Ondemand, EBS:
+		run = func() (*engine.Result, error) {
+			evs, err := tr.Runtime()
+			if err != nil {
+				return nil, err
+			}
+			var pol sched.ReactivePolicy
+			switch name {
+			case Interactive:
+				pol = sched.NewInteractive(p)
+			case Ondemand:
+				pol = sched.NewOndemand(p)
+			default:
+				pol = sched.NewEBS(p)
+			}
+			return engine.RunReactive(p, tr.App, evs, pol), nil
+		}
+	case Oracle:
+		run = func() (*engine.Result, error) {
+			evs, err := tr.Runtime()
+			if err != nil {
+				return nil, err
+			}
+			return engine.RunProactive(p, tr.App, evs, sched.NewOracle(p, evs)), nil
+		}
+	case PES:
+		if s.Learner == nil {
+			return batch.Session{}, fmt.Errorf("sessions: PES requires a trained learner")
+		}
+		spec, err := webapp.ByName(tr.App)
+		if err != nil {
+			return batch.Session{}, err
+		}
+		learner, predCfg := s.Learner, s.Predictor
+		key.Predictor = predictorKey(predCfg)
+		// PES results depend on the trained model; fingerprint the learner
+		// instance so sessions built from different trainings never share a
+		// cache slot (the memo cache lives in-process, so identity suffices).
+		key.Variant += fmt.Sprintf(",learner=%d", learnerID(learner))
+		run = func() (*engine.Result, error) {
+			evs, err := tr.Runtime()
+			if err != nil {
+				return nil, err
+			}
+			pes := core.NewPES(p, learner, spec, tr.DOMSeed, predCfg)
+			return engine.RunProactive(p, tr.App, evs, pes), nil
+		}
+	}
+	return batch.Session{Key: key, Run: run}, nil
+}

@@ -1,16 +1,20 @@
 // simcheck is a development tool that prints the headline energy/QoS
-// comparison across schedulers for a quick calibration check.
+// comparison across schedulers for a quick calibration check. The sessions
+// run through the concurrent batch runner (all schedulers × traces in one
+// batch).
 package main
+
 import (
 	"fmt"
+
 	"repro/internal/acmp"
-	"repro/internal/core"
+	"repro/internal/batch"
 	"repro/internal/predictor"
-	"repro/internal/sched"
-	"repro/internal/sim"
+	"repro/internal/sessions"
 	"repro/internal/trace"
 	"repro/internal/webapp"
 )
+
 func main() {
 	platform := acmp.Exynos5410()
 	learner, _, err := predictor.TrainOnSeenApps(6, 1000)
@@ -18,9 +22,32 @@ func main() {
 		panic(err)
 	}
 	eval := trace.GenerateCorpus(webapp.SeenApps(), 2, 500000, trace.PurposeEval, trace.Options{})
+
+	var specs []batch.Session
+	for _, tr := range eval {
+		for _, name := range sessions.Names() {
+			sess, err := sessions.New(sessions.Spec{
+				Platform:  platform,
+				Trace:     tr,
+				Scheduler: name,
+				Learner:   learner,
+				Predictor: predictor.DefaultConfig(),
+			})
+			if err != nil {
+				panic(err)
+			}
+			specs = append(specs, sess)
+		}
+	}
+	runner := batch.NewRunner(0)
+	results, err := runner.Run(specs)
+	if err != nil {
+		panic(err)
+	}
+
 	type agg struct{ energy, busy, idle, waste, viol, n, mispred, committed, specOutcomes float64 }
 	sums := map[string]*agg{}
-	add := func(r *sim.Result) {
+	for _, r := range results {
 		a := sums[r.Scheduler]
 		if a == nil {
 			a = &agg{}
@@ -40,20 +67,13 @@ func main() {
 		}
 		a.n++
 	}
-	for _, tr := range eval {
-		evs, _ := tr.Runtime()
-		spec, _ := webapp.ByName(tr.App)
-		add(sim.RunReactive(platform, tr.App, evs, sched.NewInteractive(platform)))
-		add(sim.RunReactive(platform, tr.App, evs, sched.NewOndemand(platform)))
-		add(sim.RunReactive(platform, tr.App, evs, sched.NewEBS(platform)))
-		pes := core.NewPES(platform, learner, spec, tr.DOMSeed, predictor.DefaultConfig())
-		add(sim.RunProactive(platform, tr.App, evs, pes))
-		add(sim.RunProactive(platform, tr.App, evs, sched.NewOracle(platform, evs)))
-	}
-	base := sums["Interactive"].energy
-	for _, name := range []string{"Interactive", "Ondemand", "EBS", "PES", "Oracle"} {
+	base := sums[sessions.Interactive].energy
+	for _, name := range sessions.Names() {
 		a := sums[name]
 		fmt.Printf("%-12s normEnergy=%5.1f%%  QoSviol=%5.1f%%  busy=%.0f idle=%.0f waste=%.0f mispred=%.0f committed=%.0f spec=%.0f\n",
 			name, 100*a.energy/base, 100*a.viol/a.n, a.busy, a.idle, a.waste, a.mispred, a.committed, a.specOutcomes)
 	}
+	st := runner.Stats()
+	fmt.Printf("batch: %d sessions on %d worker(s), %d simulated, %d cache hits\n",
+		st.Sessions, runner.Workers(), st.UniqueRuns, st.CacheHits)
 }

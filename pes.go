@@ -4,7 +4,7 @@
 //
 // The package is a facade over the internal packages. A typical use:
 //
-//	learner, _, err := pes.TrainPredictor(8, 1)         // offline training
+//	learner, err := pes.TrainPredictor(8, 1)             // offline training
 //	spec, _ := pes.AppByName("cnn")                      // pick an application
 //	tr := pes.GenerateTrace(spec, 42)                    // a user session
 //	events, _ := tr.Runtime()
@@ -13,17 +13,23 @@
 //	result := pes.RunProactive(platform, tr.App, events, scheduler)
 //	fmt.Println(result.ViolationRate, result.TotalEnergyMJ)
 //
+// Many sessions can be simulated concurrently — with results memoized per
+// (platform, app, trace seed, scheduler, predictor config) — through
+// RunBatch / NewBatchRunner.
+//
 // The full evaluation of the paper is regenerated through NewExperiments /
 // Experiments.All (also available as the cmd/pes-experiments binary).
 package pes
 
 import (
 	"repro/internal/acmp"
+	"repro/internal/batch"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/predictor"
 	"repro/internal/sched"
-	"repro/internal/sim"
+	"repro/internal/sessions"
 	"repro/internal/trace"
 	"repro/internal/webapp"
 	"repro/internal/webevent"
@@ -132,19 +138,58 @@ func NewPES(p *Platform, learner *SequenceLearner, spec *AppSpec, domSeed int64,
 // Simulation.
 type (
 	// Result aggregates one simulated session (energy, QoS, speculation).
-	Result = sim.Result
+	Result = engine.Result
 	// Outcome is the per-event record of a simulation.
-	Outcome = sim.Outcome
+	Outcome = engine.Outcome
 )
 
 // RunReactive replays events under a reactive scheduler.
 func RunReactive(p *Platform, app string, events []*Event, policy ReactiveScheduler) *Result {
-	return sim.RunReactive(p, app, events, policy)
+	return engine.RunReactive(p, app, events, policy)
 }
 
 // RunProactive replays events under a proactive scheduler (PES or Oracle).
 func RunProactive(p *Platform, app string, events []*Event, policy ProactiveScheduler) *Result {
-	return sim.RunProactive(p, app, events, policy)
+	return engine.RunProactive(p, app, events, policy)
+}
+
+// Batch simulation.
+type (
+	// BatchRunner executes batches of sessions on a worker pool with a
+	// memoized result cache keyed by BatchKey.
+	BatchRunner = batch.Runner
+	// BatchSession is one unit of batch work: a memo key plus the function
+	// that simulates the session on a cache miss.
+	BatchSession = batch.Session
+	// BatchKey identifies one unique session simulation.
+	BatchKey = batch.Key
+	// BatchStats reports the sessions/unique-runs/cache-hits counters of a
+	// BatchRunner.
+	BatchStats = batch.Stats
+)
+
+// SessionSpec describes one session simulation for NewSession: a trace
+// replayed under a named scheduler ("Interactive", "Ondemand", "EBS", "PES",
+// "Oracle"; case-insensitive) on a platform. Learner and Predictor are
+// consulted only for PES.
+type SessionSpec = sessions.Spec
+
+// NewSession builds a self-contained, correctly-keyed batch session: the
+// memo key includes the predictor configuration, the learner identity, and
+// a trace fingerprint, so differently-configured sessions never share a
+// cache slot. Prefer this over hand-building a BatchSession.
+func NewSession(s SessionSpec) (BatchSession, error) { return sessions.New(s) }
+
+// NewBatchRunner creates a batch runner with the given worker-pool size;
+// workers <= 0 selects the number of CPUs.
+func NewBatchRunner(workers int) *BatchRunner { return batch.NewRunner(workers) }
+
+// RunBatch simulates many sessions concurrently on a fresh runner and
+// returns the results index-aligned with the input. Sessions with equal keys
+// simulate exactly once and share one Result. Keep the runner instead (see
+// NewBatchRunner) to reuse its memo cache across batches.
+func RunBatch(workers int, sessions []BatchSession) ([]*Result, error) {
+	return batch.NewRunner(workers).Run(sessions)
 }
 
 // Experiments.

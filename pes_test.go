@@ -43,6 +43,47 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestBatchFacade runs sessions through the public batch API the way the
+// README's batch quickstart does.
+func TestBatchFacade(t *testing.T) {
+	platform := Exynos5410()
+	spec, err := AppByName("cnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sessions []BatchSession
+	for _, seed := range []int64{3, 4, 3} {
+		s, err := NewSession(SessionSpec{
+			Platform:  platform,
+			Trace:     GenerateTraceWith(spec, seed, TraceOptions{MaxEvents: 12}),
+			Scheduler: "ebs",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+	runner := NewBatchRunner(2)
+	results, err := runner.Run(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r == nil || r.TotalEnergyMJ <= 0 || r.Scheduler != "EBS" {
+			t.Fatalf("result %d bad: %+v", i, r)
+		}
+	}
+	if results[0] != results[2] {
+		t.Error("duplicate seed should be memoized")
+	}
+	if st := runner.Stats(); st.UniqueRuns != 2 || st.CacheHits != 1 {
+		t.Errorf("stats = %+v, want 2 unique / 1 hit", st)
+	}
+}
+
 func TestPublicAPISurface(t *testing.T) {
 	if len(Apps()) != 18 || len(SeenApps()) != 12 || len(UnseenApps()) != 6 {
 		t.Error("application suite sizes wrong")
