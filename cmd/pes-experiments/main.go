@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -20,12 +21,24 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment to run (fig2, fig3, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, overhead, ablation, tx2, all)")
-	traces := flag.Int("traces", 3, "evaluation traces per application")
-	train := flag.Int("train", 8, "training traces per seen application")
-	seed := flag.Int64("seed", 1, "experiment seed")
-	parallel := flag.Int("parallel", 0, "simulation worker-pool size (0 = number of CPUs, 1 = serial)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatalf("pes-experiments: %v", err)
+	}
+}
+
+// run is the testable body of the command: tables go to stdout, the runner
+// statistics line to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pes-experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.String("fig", "all", "experiment to run (fig2, fig3, table1, fig8, fig9, fig10, fig11, fig12, fig13, fig14, overhead, ablation, tx2, all)")
+	traces := fs.Int("traces", 3, "evaluation traces per application")
+	train := fs.Int("train", 8, "training traces per seen application")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	parallel := fs.Int("parallel", 0, "simulation worker-pool size (0 = number of CPUs, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.EvalTracesPerApp = *traces
@@ -35,7 +48,7 @@ func main() {
 
 	setup, err := experiments.NewSetup(cfg)
 	if err != nil {
-		log.Fatalf("pes-experiments: %v", err)
+		return err
 	}
 
 	var tables []*experiments.Table
@@ -69,19 +82,20 @@ func main() {
 	case "tx2", "otherdevice":
 		tables, err = one(setup.OtherDeviceTX2())
 	default:
-		log.Fatalf("pes-experiments: unknown experiment %q", *fig)
+		return fmt.Errorf("unknown experiment %q", *fig)
 	}
 	if err != nil {
-		log.Fatalf("pes-experiments: %v", err)
+		return err
 	}
 	for _, t := range tables {
-		if err := t.Render(os.Stdout); err != nil {
-			log.Fatalf("pes-experiments: %v", err)
+		if err := t.Render(stdout); err != nil {
+			return err
 		}
 	}
 	st := setup.Runner.Stats()
-	fmt.Fprintf(os.Stderr, "completed %d experiment(s): %d sessions requested, %d simulated on %d worker(s), %d served from cache\n",
+	fmt.Fprintf(stderr, "completed %d experiment(s): %d sessions requested, %d simulated on %d worker(s), %d served from cache\n",
 		len(tables), st.Sessions, st.UniqueRuns, setup.Runner.Workers(), st.CacheHits)
+	return nil
 }
 
 func one(t *experiments.Table, err error) ([]*experiments.Table, error) {

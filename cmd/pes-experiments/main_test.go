@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// goldenFig2 pins the full stdout of a small fixed-seed invocation. Fig. 2
+// replays a hand-built four-event sequence, so its values depend only on the
+// platform model and the engine — any diff means observable behaviour
+// changed.
+const goldenFig2 = `== fig2: Representative 4-event sequence (per-event latency ms, violations, energy mJ) ==
+                         E1 ms           E2 ms           E3 ms           E4 ms      violations       energy mJ
+--------------------------------------------------------------------------------------------------------------
+Interactive           1552.174         443.733         214.288          32.906           1.000        7975.753
+EBS                   1611.275         427.322         197.878          23.767           1.000        7708.132
+Oracle                2813.889           8.333         220.776           8.333           0.000        4211.129
+note: paper: OS and EBS violate deadlines on E2/E3 (and E4 for OS); the oracle meets all four and cuts energy by ~1/4 vs EBS
+
+`
+
+func TestRunGoldenFig2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the predictor")
+	}
+	var out, errOut bytes.Buffer
+	args := []string{"-fig", "fig2", "-traces", "1", "-train", "2", "-seed", "1", "-parallel", "1"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := out.String(); got != goldenFig2 {
+		t.Errorf("output drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, goldenFig2)
+	}
+	if !strings.Contains(errOut.String(), "completed 1 experiment(s)") {
+		t.Errorf("stderr missing the runner statistics line, got %q", errOut.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-fig", "nosuchfig", "-traces", "1", "-train", "2"},
+		{"-nosuchflag"},
+	} {
+		var out, errOut bytes.Buffer
+		if err := run(args, &out, &errOut); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Command pes-serve runs the simulation service: a long-lived HTTP server
+// that accepts simulation campaigns, executes them on a bounded worker pool,
+// and memoizes every unique session in one process-wide cache shared across
+// all requests — repeated or overlapping campaigns simulate each session
+// exactly once.
+//
+//	pes-serve -addr :8080 -parallel 8
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/campaigns -d '{"apps":["cnn"],"schedulers":["EBS","PES"]}'
+//	curl -s localhost:8080/v1/campaigns/c0001
+//	curl -s localhost:8080/v1/campaigns/c0001/results
+//	curl -s localhost:8080/v1/figures/fig11
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	traces := flag.Int("traces", 3, "evaluation traces per application (figure endpoints)")
+	train := flag.Int("train", 8, "training traces per seen application")
+	seed := flag.Int64("seed", 1, "harness seed")
+	parallel := flag.Int("parallel", 0, "simulation worker-pool size (0 = number of CPUs)")
+	jobs := flag.Int("jobs", 2, "campaigns executed concurrently")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.EvalTracesPerApp = *traces
+	cfg.TrainTracesPerApp = *train
+	cfg.Seed = *seed
+	cfg.Parallel = *parallel
+
+	log.Printf("pes-serve: training the predictor (%d traces/app)...", *train)
+	svc, err := server.New(server.Config{Experiments: cfg, JobWorkers: *jobs})
+	if err != nil {
+		log.Fatalf("pes-serve: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("pes-serve: shutting down (queued campaigns are canceled, running ones finish)")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+
+	log.Printf("pes-serve: listening on %s (%d simulation workers, %d campaign workers)",
+		*addr, svc.Setup().Runner.Workers(), *jobs)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("pes-serve: %v", err)
+	}
+	svc.Close()
+	st := svc.Stats()
+	log.Printf("pes-serve: served %d sessions (%d simulated, %d from cache)",
+		st.Sessions, st.UniqueRuns, st.CacheHits)
+}

@@ -12,7 +12,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/acmp"
 	"repro/internal/batch"
@@ -24,24 +26,36 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "cnn", "application name (see pes-trace -list)")
-	seed := flag.Int64("seed", 42, "user/session seed (first seed with -sessions > 1)")
-	scheduler := flag.String("scheduler", "pes", "scheduler: interactive, ondemand, ebs, pes, oracle")
-	nSessions := flag.Int("sessions", 1, "number of sessions to simulate (seeds seed..seed+N-1)")
-	parallel := flag.Int("parallel", 0, "simulation worker-pool size (0 = number of CPUs, 1 = serial)")
-	verbose := flag.Bool("v", false, "print per-event outcomes")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatalf("pes-sim: %v", err)
+	}
+}
+
+// run is the testable body of the command: the report goes to stdout, flag
+// usage and parse errors to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pes-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "cnn", "application name (see pes-trace -list)")
+	seed := fs.Int64("seed", 42, "user/session seed (first seed with -sessions > 1)")
+	scheduler := fs.String("scheduler", "pes", "scheduler: interactive, ondemand, ebs, pes, oracle")
+	nSessions := fs.Int("sessions", 1, "number of sessions to simulate (seeds seed..seed+N-1)")
+	parallel := fs.Int("parallel", 0, "simulation worker-pool size (0 = number of CPUs, 1 = serial)")
+	verbose := fs.Bool("v", false, "print per-event outcomes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	spec, err := webapp.ByName(*app)
 	if err != nil {
-		log.Fatalf("pes-sim: %v", err)
+		return err
 	}
 	if *nSessions < 1 {
-		log.Fatalf("pes-sim: -sessions must be at least 1")
+		return fmt.Errorf("-sessions must be at least 1")
 	}
 	schedName, err := sessions.Canonical(*scheduler)
 	if err != nil {
-		log.Fatalf("pes-sim: %v", err)
+		return err
 	}
 	platform := acmp.Exynos5410()
 
@@ -51,7 +65,7 @@ func main() {
 	if schedName == sessions.PES {
 		learner, _, err = predictor.TrainOnSeenApps(6, 1)
 		if err != nil {
-			log.Fatalf("pes-sim: training: %v", err)
+			return fmt.Errorf("training: %w", err)
 		}
 	}
 
@@ -66,57 +80,58 @@ func main() {
 			Predictor: predictor.DefaultConfig(),
 		})
 		if err != nil {
-			log.Fatalf("pes-sim: %v", err)
+			return err
 		}
 		specs = append(specs, sess)
 	}
 	runner := batch.NewRunner(*parallel)
 	results, err := runner.Run(specs)
 	if err != nil {
-		log.Fatalf("pes-sim: %v", err)
+		return err
 	}
 
 	for i, result := range results {
 		if *nSessions > 1 {
-			fmt.Printf("--- session seed=%d ---\n", *seed+int64(i))
+			fmt.Fprintf(stdout, "--- session seed=%d ---\n", *seed+int64(i))
 		}
-		printResult(result, *verbose)
+		printResult(stdout, result, *verbose)
 	}
 	if *nSessions > 1 {
-		printAverages(results)
-		fmt.Printf("batch: %d sessions on %d worker(s)\n", *nSessions, runner.Workers())
+		printAverages(stdout, results)
+		fmt.Fprintf(stdout, "batch: %d sessions on %d worker(s)\n", *nSessions, runner.Workers())
 	}
+	return nil
 }
 
-func printResult(result *engine.Result, verbose bool) {
+func printResult(w io.Writer, result *engine.Result, verbose bool) {
 	if verbose {
 		for _, o := range result.Outcomes {
 			status := "ok"
 			if o.Violated {
 				status = "VIOLATED"
 			}
-			fmt.Printf("#%-3d %-10s trigger=%-10s latency=%-10s qos=%-6s cfg=%-14s spec=%-5v %s\n",
+			fmt.Fprintf(w, "#%-3d %-10s trigger=%-10s latency=%-10s qos=%-6s cfg=%-14s spec=%-5v %s\n",
 				o.Event.Seq, o.Event.Type, o.Event.Trigger, o.Latency, o.Event.QoSTarget(), o.Config, o.Speculative, status)
 		}
 	}
-	fmt.Printf("scheduler=%s app=%s events=%d duration=%s\n", result.Scheduler, result.App, len(result.Outcomes), result.Duration)
-	fmt.Printf("energy: total=%.1f mJ (busy=%.1f idle=%.1f wasted=%.1f)\n",
+	fmt.Fprintf(w, "scheduler=%s app=%s events=%d duration=%s\n", result.Scheduler, result.App, len(result.Outcomes), result.Duration)
+	fmt.Fprintf(w, "energy: total=%.1f mJ (busy=%.1f idle=%.1f wasted=%.1f)\n",
 		result.TotalEnergyMJ, result.BusyEnergyMJ, result.IdleEnergyMJ, result.WastedEnergyMJ)
-	fmt.Printf("qos: violations=%d (%.1f%%), mean latency=%s\n",
+	fmt.Fprintf(w, "qos: violations=%d (%.1f%%), mean latency=%s\n",
 		result.Violations, 100*result.ViolationRate, result.MeanLatency())
 	if result.CommittedFrames+result.Mispredictions > 0 {
-		fmt.Printf("speculation: committed=%d mispredictions=%d squashed=%d waste=%s\n",
+		fmt.Fprintf(w, "speculation: committed=%d mispredictions=%d squashed=%d waste=%s\n",
 			result.CommittedFrames, result.Mispredictions, result.SquashedFrames, result.MispredictWaste)
 	}
 }
 
-func printAverages(results []*engine.Result) {
+func printAverages(w io.Writer, results []*engine.Result) {
 	var energy, viol float64
 	for _, r := range results {
 		energy += r.TotalEnergyMJ
 		viol += r.ViolationRate
 	}
 	n := float64(len(results))
-	fmt.Printf("--- batch average over %d sessions ---\n", len(results))
-	fmt.Printf("energy: %.1f mJ/session, qos violations: %.1f%%\n", energy/n, 100*viol/n)
+	fmt.Fprintf(w, "--- batch average over %d sessions ---\n", len(results))
+	fmt.Fprintf(w, "energy: %.1f mJ/session, qos violations: %.1f%%\n", energy/n, 100*viol/n)
 }

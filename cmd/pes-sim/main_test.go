@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// goldenBatch pins the full stdout of a small fixed-seed batch invocation:
+// two cnn sessions under EBS, simulated serially. The simulation is fully
+// deterministic, so any diff here means the CLI (or the substrate beneath
+// it) changed behaviour.
+const goldenBatch = `--- session seed=42 ---
+scheduler=EBS app=cnn events=56 duration=114.5s
+energy: total=45492.6 mJ (busy=31272.4 idle=14220.2 wasted=0.0)
+qos: violations=7 (12.5%), mean latency=356ms
+--- session seed=43 ---
+scheduler=EBS app=cnn events=51 duration=110.5s
+energy: total=44749.4 mJ (busy=31311.0 idle=13438.4 wasted=0.0)
+qos: violations=8 (15.7%), mean latency=312ms
+--- batch average over 2 sessions ---
+energy: 45121.0 mJ/session, qos violations: 14.1%
+batch: 2 sessions on 1 worker(s)
+`
+
+func TestRunGoldenBatch(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-app", "cnn", "-scheduler", "ebs", "-seed", "42", "-sessions", "2", "-parallel", "1"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := out.String(); got != goldenBatch {
+		t.Errorf("output drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, goldenBatch)
+	}
+	if errOut.Len() != 0 {
+		t.Errorf("unexpected stderr output: %q", errOut.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown app", []string{"-app", "nosuchapp"}},
+		{"unknown scheduler", []string{"-scheduler", "nosuchsched"}},
+		{"bad session count", []string{"-sessions", "0"}},
+		{"bad flag", []string{"-nosuchflag"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if err := run(c.args, &out, &errOut); err == nil {
+				t.Errorf("run(%v) succeeded, want error", c.args)
+			}
+		})
+	}
+}

@@ -134,7 +134,23 @@ func (r *Runner) one(s Session) (*engine.Result, error) {
 // are served from the cache. On error the first error is returned and the
 // corresponding results are nil; the remaining sessions still complete.
 func (r *Runner) Run(sessions []Session) ([]*engine.Result, error) {
+	return r.RunWithProgress(sessions, nil)
+}
+
+// RunWithProgress is Run with a progress callback: after each session
+// resolves (from the cache or a fresh simulation, successfully or not),
+// progress is called with the number of sessions resolved so far and the
+// batch size. The callback may run concurrently from several workers and
+// completed counts may arrive out of order; it must be cheap and safe for
+// concurrent use. A nil progress is ignored.
+func (r *Runner) RunWithProgress(sessions []Session, progress func(completed, total int)) ([]*engine.Result, error) {
 	out := make([]*engine.Result, len(sessions))
+	var completed atomic.Int64
+	note := func() {
+		if progress != nil {
+			progress(int(completed.Add(1)), len(sessions))
+		}
+	}
 	workers := r.workers
 	if workers > len(sessions) {
 		workers = len(sessions)
@@ -143,6 +159,7 @@ func (r *Runner) Run(sessions []Session) ([]*engine.Result, error) {
 		var firstErr error
 		for i, s := range sessions {
 			res, err := r.one(s)
+			note()
 			if err != nil {
 				if firstErr == nil {
 					firstErr = err
@@ -166,6 +183,7 @@ func (r *Runner) Run(sessions []Session) ([]*engine.Result, error) {
 			defer wg.Done()
 			for i := range idx {
 				res, err := r.one(sessions[i])
+				note()
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {

@@ -216,3 +216,54 @@ func ExampleRunner() {
 	fmt.Println(len(out), st.UniqueRuns, st.CacheHits, out[0] == out[2])
 	// Output: 3 2 1 true
 }
+
+func TestRunWithProgress(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		r := NewRunner(workers)
+		var sessions []Session
+		for i := 0; i < 12; i++ {
+			sessions = append(sessions, ebsSession(t, "cnn", int64(i%3)))
+		}
+		var (
+			mu    sync.Mutex
+			calls int
+			max   int
+			total int
+		)
+		_, err := r.RunWithProgress(sessions, func(completed, tot int) {
+			mu.Lock()
+			calls++
+			if completed > max {
+				max = completed
+			}
+			total = tot
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One callback per session (cache hits included), reaching the batch
+		// size exactly once.
+		if calls != len(sessions) || max != len(sessions) || total != len(sessions) {
+			t.Errorf("workers=%d: %d calls, max completed %d, total %d, want all %d",
+				workers, calls, max, total, len(sessions))
+		}
+	}
+}
+
+func TestRunWithProgressErrorsStillReport(t *testing.T) {
+	r := NewRunner(1)
+	boom := errors.New("boom")
+	sessions := []Session{
+		{Key: Key{App: "x", TraceSeed: 1}, Run: func() (*engine.Result, error) { return nil, boom }},
+		ebsSession(t, "cnn", 2),
+	}
+	calls := 0
+	_, err := r.RunWithProgress(sessions, func(completed, total int) { calls++ })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Errorf("progress called %d times, want 2 (failed sessions count as resolved)", calls)
+	}
+}

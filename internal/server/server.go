@@ -1,0 +1,475 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/batch"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Experiments configures the shared harness state: predictor training
+	// scale, evaluation corpus, simulation worker-pool size, seed. The zero
+	// value selects the paper defaults.
+	Experiments experiments.Config
+	// JobWorkers is the number of campaigns executed concurrently (each
+	// campaign's sessions additionally fan out on the batch runner's worker
+	// pool). Default 2.
+	JobWorkers int
+	// QueueDepth caps the number of campaigns waiting to run. Default 256.
+	QueueDepth int
+	// MaxJobs caps the number of jobs retained for status/result queries;
+	// when a new submission would exceed it, the oldest finished jobs are
+	// evicted. Default 1024.
+	MaxJobs int
+}
+
+// Job statuses.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+// job is one submitted campaign and its lifecycle state.
+type job struct {
+	id       string
+	campaign Campaign
+	plan     *Plan
+	// total is the session count of the plan, kept separately because the
+	// plan's session closures are released once the job is terminal.
+	total int
+
+	completed atomic.Int64
+
+	mu      sync.Mutex
+	status  string
+	results []*engine.Result
+	errMsg  string
+}
+
+// terminal reports whether a status is final.
+func terminal(status string) bool {
+	return status == StatusDone || status == StatusFailed || status == StatusCanceled
+}
+
+func (j *job) setStatus(status, errMsg string) {
+	j.mu.Lock()
+	j.status = status
+	j.errMsg = errMsg
+	if terminal(status) {
+		// The session closures (and the traces they capture) are only
+		// needed to run the campaign; results are served from j.results
+		// and j.plan.Meta.
+		j.plan.Sessions = nil
+	}
+	j.mu.Unlock()
+}
+
+// snapshot returns the job's externally visible state.
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:        j.id,
+		Status:    j.status,
+		Sessions:  j.total,
+		Completed: int(j.completed.Load()),
+		Error:     j.errMsg,
+	}
+}
+
+// JobStatus is the response body of GET /v1/campaigns/{id} (and of the
+// submission response).
+type JobStatus struct {
+	ID string `json:"id"`
+	// Status is one of queued, running, done, failed, canceled.
+	Status string `json:"status"`
+	// Sessions is the number of sessions the campaign expanded to.
+	Sessions int `json:"sessions"`
+	// Completed counts the sessions resolved so far (cache hits included).
+	Completed int    `json:"completed"`
+	Error     string `json:"error,omitempty"`
+}
+
+// ResultRow is one session of a finished campaign: its metadata plus the
+// full engine result.
+type ResultRow struct {
+	SessionMeta
+	Result *engine.Result `json:"result"`
+}
+
+// Results is the response body of GET /v1/campaigns/{id}/results.
+type Results struct {
+	ID   string      `json:"id"`
+	Rows []ResultRow `json:"rows"`
+	// Tables are the aggregate energy and QoS tables (the shape the figure
+	// harness computes for Fig. 11/12) over the campaign's sessions.
+	Tables []*experiments.Table `json:"tables"`
+	// Stats snapshots the shared runner's memo-cache counters after the
+	// campaign completed.
+	Stats batch.Stats `json:"stats"`
+}
+
+// errUnknownFigure distinguishes a bad figure name (HTTP 404) from a figure
+// that failed to compute (HTTP 500).
+var errUnknownFigure = errors.New("unknown figure")
+
+// figEntry is a singleflight cache slot for one figure.
+type figEntry struct {
+	once sync.Once
+	tab  *experiments.Table
+	err  error
+}
+
+// Server is the simulation service: one trained harness setup, one shared
+// batch runner (and thus one cross-request memo cache), a bounded campaign
+// queue, and the HTTP handlers on top.
+type Server struct {
+	cfg   Config
+	setup *experiments.Setup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // job ids in submission order, for eviction
+	nextID int
+	closed bool
+
+	queue   chan *job
+	wg      sync.WaitGroup
+	figures map[string]*figEntry
+}
+
+// New trains the shared predictor, generates the evaluation corpus, and
+// starts the campaign workers. Call Close to shut the workers down.
+func New(cfg Config) (*Server, error) {
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	if cfg.MaxJobs < cfg.QueueDepth+cfg.JobWorkers {
+		// Eviction skips live jobs, so the cap must leave room for every
+		// job that can be queued or running at once.
+		cfg.MaxJobs = cfg.QueueDepth + cfg.JobWorkers
+	}
+	setup, err := experiments.NewSetup(cfg.Experiments)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		setup:   setup,
+		jobs:    make(map[string]*job),
+		queue:   make(chan *job, cfg.QueueDepth),
+		figures: make(map[string]*figEntry),
+	}
+	for i := 0; i < cfg.JobWorkers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Setup exposes the shared harness state (trained learner, corpus, runner).
+func (s *Server) Setup() *experiments.Setup { return s.setup }
+
+// Stats snapshots the shared runner's memo-cache counters.
+func (s *Server) Stats() batch.Stats { return s.setup.Runner.Stats() }
+
+// Close stops accepting campaigns, cancels the ones still queued, and waits
+// for the running ones to finish (individual session simulations are not
+// interruptible).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	// Closing under the lock serializes with Submit's send on the same
+	// channel; waiting happens outside it so workers can keep taking s.mu.
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// worker executes queued campaigns until the queue closes. After shutdown
+// begins, jobs still in the queue are canceled instead of run.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			j.setStatus(StatusCanceled, "server shut down before the campaign started")
+			continue
+		}
+		j.setStatus(StatusRunning, "")
+		results, err := s.setup.Runner.RunWithProgress(j.plan.Sessions, func(completed, total int) {
+			j.completed.Add(1)
+		})
+		j.mu.Lock()
+		j.results = results
+		j.mu.Unlock()
+		if err != nil {
+			j.setStatus(StatusFailed, err.Error())
+		} else {
+			j.setStatus(StatusDone, "")
+		}
+	}
+}
+
+// Submit validates and enqueues a campaign, returning its job status.
+func (s *Server) Submit(c Campaign) (JobStatus, error) {
+	plan, err := c.Expand(s.setup)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobStatus{}, fmt.Errorf("server is shutting down")
+	}
+	s.nextID++
+	j := &job{
+		id:       fmt.Sprintf("c%04d", s.nextID),
+		campaign: c,
+		plan:     plan,
+		total:    len(plan.Sessions),
+		status:   StatusQueued,
+	}
+	// The queue is buffered, so a non-blocking send under s.mu is safe —
+	// and holding the lock here means Close (which closes the channel under
+	// the same lock) cannot race the send.
+	select {
+	case s.queue <- j:
+	default:
+		return JobStatus{}, fmt.Errorf("campaign queue is full (%d pending)", s.cfg.QueueDepth)
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	return j.snapshot(), nil
+}
+
+// evictLocked drops the oldest finished jobs while more than MaxJobs are
+// retained. Queued or running jobs are never evicted. Caller holds s.mu.
+func (s *Server) evictLocked() {
+	if len(s.jobs) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	for i, id := range s.order {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		if len(s.jobs) <= s.cfg.MaxJobs {
+			kept = append(kept, s.order[i:]...)
+			break
+		}
+		j.mu.Lock()
+		done := terminal(j.status)
+		j.mu.Unlock()
+		if done {
+			delete(s.jobs, id)
+		} else {
+			kept = append(kept, id)
+		}
+	}
+	s.order = kept
+}
+
+// jobByID looks a job up.
+func (s *Server) jobByID(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// figure computes (once) and returns the named figure table. Figure
+// simulations run on the shared runner, so campaigns covering the same
+// sessions are served from the same memo cache.
+func (s *Server) figure(name string) (*experiments.Table, error) {
+	gen, canon, err := s.figureGen(name)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	e, ok := s.figures[canon]
+	if !ok {
+		e = &figEntry{}
+		s.figures[canon] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.tab, e.err = gen() })
+	return e.tab, e.err
+}
+
+// figureGen resolves a figure name (with the same aliases as
+// cmd/pes-experiments) to its generator and canonical cache key.
+func (s *Server) figureGen(name string) (func() (*experiments.Table, error), string, error) {
+	switch strings.ToLower(name) {
+	case "fig2":
+		return s.setup.Fig2, "fig2", nil
+	case "fig3":
+		return s.setup.Fig3, "fig3", nil
+	case "table1":
+		return s.setup.Table1, "table1", nil
+	case "fig8":
+		return s.setup.Fig8, "fig8", nil
+	case "fig9":
+		return s.setup.Fig9, "fig9", nil
+	case "fig10":
+		return s.setup.Fig10, "fig10", nil
+	case "fig11":
+		return s.setup.Fig11, "fig11", nil
+	case "fig12":
+		return s.setup.Fig12, "fig12", nil
+	case "fig13":
+		return s.setup.Fig13, "fig13", nil
+	case "fig14":
+		return func() (*experiments.Table, error) { return s.setup.Fig14(nil) }, "fig14", nil
+	case "overhead", "sec6.3":
+		return s.setup.OverheadTable, "overhead", nil
+	case "ablation", "nodom":
+		return s.setup.AblationNoDOM, "ablation", nil
+	case "tx2", "otherdevice":
+		return s.setup.OtherDeviceTX2, "tx2", nil
+	}
+	return nil, "", fmt.Errorf("%w %q", errUnknownFigure, name)
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/campaigns              submit a campaign (JSON body), 202 + job id
+//	GET  /v1/campaigns/{id}         job status and progress
+//	GET  /v1/campaigns/{id}/results per-session results + aggregate tables
+//	GET  /v1/figures/{name}         one figure of the paper, computed on demand
+//	GET  /healthz                   liveness + shared-cache counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing left to report
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var c Campaign
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid campaign JSON: " + err.Error()})
+		return
+	}
+	st, err := s.Submit(c)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown campaign id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown campaign id"})
+		return
+	}
+	st := j.snapshot()
+	if st.Status != StatusDone {
+		writeJSON(w, http.StatusConflict, apiError{
+			Error: fmt.Sprintf("campaign %s is %s, results are available once it is %s", st.ID, st.Status, StatusDone),
+		})
+		return
+	}
+	j.mu.Lock()
+	results := j.results
+	j.mu.Unlock()
+	rows := make([]ResultRow, 0, len(results))
+	for i, res := range results {
+		rows = append(rows, ResultRow{SessionMeta: j.plan.Meta[i], Result: res})
+	}
+	writeJSON(w, http.StatusOK, Results{
+		ID:     j.id,
+		Rows:   rows,
+		Tables: j.plan.Tables(results),
+		Stats:  s.Stats(),
+	})
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	tab, err := s.figure(r.PathValue("name"))
+	if err != nil {
+		code := http.StatusNotFound
+		if !errors.Is(err, errUnknownFigure) {
+			code = http.StatusInternalServerError
+		}
+		writeJSON(w, code, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, tab)
+}
+
+// health is the response body of GET /healthz.
+type health struct {
+	Status string      `json:"status"`
+	Jobs   int         `json:"jobs"`
+	Stats  batch.Stats `json:"stats"`
+	// Workers is the simulation worker-pool size of the shared runner.
+	Workers int `json:"workers"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, health{
+		Status:  "ok",
+		Jobs:    jobs,
+		Stats:   s.Stats(),
+		Workers: s.setup.Runner.Workers(),
+	})
+}

@@ -1,0 +1,386 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sessions"
+)
+
+// The server trains a predictor at construction, so tests share one small
+// instance (plus dedicated ones where clean counters matter).
+var (
+	srvOnce sync.Once
+	srv     *Server
+	srvErr  error
+)
+
+func smallConfig() Config {
+	return Config{
+		Experiments: experiments.Config{TrainTracesPerApp: 2, EvalTracesPerApp: 1, Parallel: 2},
+		JobWorkers:  2,
+	}
+}
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("server tests train a predictor")
+	}
+	srvOnce.Do(func() { srv, srvErr = New(smallConfig()) })
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	return srv
+}
+
+func TestCampaignExpansionDefaults(t *testing.T) {
+	s := testServer(t)
+	plan, err := Campaign{}.Expand(s.Setup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 18 applications × 1 seed × 5 schedulers.
+	if got, want := len(plan.Sessions), 18*5; got != want {
+		t.Errorf("default campaign expands to %d sessions, want %d", got, want)
+	}
+	if len(plan.Meta) != len(plan.Sessions) {
+		t.Errorf("meta (%d) not aligned with sessions (%d)", len(plan.Meta), len(plan.Sessions))
+	}
+	if plan.Platform != "Exynos5410" {
+		t.Errorf("default platform %q", plan.Platform)
+	}
+}
+
+func TestCampaignExpansionSweep(t *testing.T) {
+	s := testServer(t)
+	c := Campaign{
+		Platform:   "tx2",
+		Apps:       []string{"cnn"},
+		TraceSeeds: []int64{1, 2},
+		Schedulers: []string{"ebs", "PES"},
+		// 0.7 is the base threshold, so it must be deduplicated.
+		Sweep: &Sweep{ConfidenceThresholds: []float64{0.9, 0.5, 0.7}},
+	}
+	plan, err := c.Expand(s.Setup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per seed: EBS + PES at base, plus PES at 0.5 and 0.9.
+	if got, want := len(plan.Sessions), 2*(2+2); got != want {
+		t.Fatalf("sweep campaign expands to %d sessions, want %d", got, want)
+	}
+	var labels []string
+	for _, m := range plan.Meta[:4] {
+		labels = append(labels, m.Label)
+	}
+	if got, want := strings.Join(labels, ","), "EBS,PES,PES@50%,PES@90%"; got != want {
+		t.Errorf("labels %q, want %q", got, want)
+	}
+	for _, m := range plan.Meta {
+		if m.Platform != "TX2Parker" {
+			t.Fatalf("session platform %q, want TX2Parker", m.Platform)
+		}
+		if m.Scheduler == sessions.PES && m.ConfidenceThreshold == 0 {
+			t.Errorf("PES session missing confidence threshold: %+v", m)
+		}
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	s := testServer(t)
+	cases := map[string]Campaign{
+		"bad platform":  {Platform: "pixel9"},
+		"bad app":       {Apps: []string{"nosuchapp"}},
+		"bad scheduler": {Schedulers: []string{"nosuchsched"}},
+		"bad threshold": {Sweep: &Sweep{ConfidenceThresholds: []float64{1.5}}},
+	}
+	for name, c := range cases {
+		if _, err := c.Expand(s.Setup()); err == nil {
+			t.Errorf("%s: expansion succeeded, want error", name)
+		}
+	}
+}
+
+func TestPlanTables(t *testing.T) {
+	s := testServer(t)
+	c := Campaign{Apps: []string{"cnn", "ebay"}, TraceSeeds: []int64{1, 2}, Schedulers: []string{"Interactive", "EBS"}}
+	plan, err := c.Expand(s.Setup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.Setup().Runner.Run(plan.Sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := plan.Tables(results)
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want energy + qos", len(tables))
+	}
+	for _, tab := range tables {
+		if got, want := strings.Join(tab.Columns, ","), "Interactive,EBS"; got != want {
+			t.Errorf("%s columns %q, want %q", tab.ID, got, want)
+		}
+		if len(tab.Rows) != 2 {
+			t.Errorf("%s has %d rows, want one per app", tab.ID, len(tab.Rows))
+		}
+	}
+	energy := tables[0]
+	for _, row := range energy.Rows {
+		for i, v := range row.Values {
+			if v <= 0 {
+				t.Errorf("energy[%s][%s] = %g, want > 0", row.Label, energy.Columns[i], v)
+			}
+		}
+	}
+}
+
+// waitDone polls the status endpoint until the job reaches a terminal state.
+func waitDone(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := http.Get(base + "/v1/campaigns/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Status != StatusQueued && st.Status != StatusRunning {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s still %s (%d/%d) at deadline", id, st.Status, st.Completed, st.Sessions)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestHTTPCampaignLifecycle(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Liveness first.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || h.Workers < 1 {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	// Submit a small campaign.
+	body := `{"apps":["cnn"],"trace_seeds":[1],"schedulers":["Interactive","EBS"]}`
+	resp, err = http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Sessions != 2 {
+		t.Fatalf("campaign expanded to %d sessions, want 2", st.Sessions)
+	}
+
+	final := waitDone(t, ts.URL, st.ID)
+	if final.Status != StatusDone {
+		t.Fatalf("campaign ended %s: %s", final.Status, final.Error)
+	}
+	if final.Completed != final.Sessions {
+		t.Errorf("progress shows %d/%d completed", final.Completed, final.Sessions)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/campaigns/" + st.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Results
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(res.Rows) != 2 || len(res.Tables) != 2 {
+		t.Fatalf("results: %d rows, %d tables", len(res.Rows), len(res.Tables))
+	}
+	for _, row := range res.Rows {
+		if row.Result == nil || row.Result.TotalEnergyMJ <= 0 {
+			t.Errorf("row %+v has no result", row.SessionMeta)
+		}
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/v1/campaigns/nosuchjob"); code != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", code)
+	}
+	if code := get("/v1/campaigns/nosuchjob/results"); code != http.StatusNotFound {
+		t.Errorf("unknown job results = %d, want 404", code)
+	}
+	if code := get("/v1/figures/nosuchfig"); code != http.StatusNotFound {
+		t.Errorf("unknown figure = %d, want 404", code)
+	}
+	for _, body := range []string{"{nonsense", `{"apps":["nosuchapp"]}`, `{"bogus_field":1}`} {
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %q = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestFigureEndpointAndCache(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/figures/fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tab experiments.Table
+	if err := json.NewDecoder(resp.Body).Decode(&tab); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tab.ID != "fig2" || len(tab.Rows) != 3 {
+		t.Fatalf("fig2 = %+v", tab)
+	}
+
+	// The figure cache computes each figure once, and aliases share one slot.
+	first, err := s.figure("overhead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.figure("sec6.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("figure aliases were computed separately instead of cached")
+	}
+}
+
+func TestShutdownCancelsQueuedJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("server tests train a predictor")
+	}
+	cfg := smallConfig()
+	cfg.JobWorkers = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one worker, at most one campaign runs at a time; the rest wait in
+	// the queue and must be canceled (not run) once shutdown begins.
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st, err := s.Submit(Campaign{Apps: []string{"cnn"}, Schedulers: []string{"EBS", "Ondemand", "Interactive"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	s.Close()
+	for _, id := range ids {
+		j, ok := s.jobByID(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		st := j.snapshot()
+		switch st.Status {
+		case StatusDone, StatusCanceled:
+		default:
+			t.Errorf("after Close, job %s is %s, want done or canceled", id, st.Status)
+		}
+	}
+	if _, err := s.Submit(Campaign{}); err == nil {
+		t.Error("Submit after Close succeeded, want error")
+	}
+	// Close is idempotent.
+	s.Close()
+}
+
+func TestJobEviction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("server tests train a predictor")
+	}
+	cfg := smallConfig()
+	cfg.JobWorkers = 1
+	cfg.QueueDepth = 1
+	cfg.MaxJobs = 1 // clamped up to QueueDepth+JobWorkers = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	submitAndWait := func() string {
+		t.Helper()
+		st, err := s.Submit(Campaign{Apps: []string{"cnn"}, Schedulers: []string{"EBS"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(time.Minute)
+		for {
+			j, ok := s.jobByID(st.ID)
+			if !ok {
+				t.Fatalf("job %s disappeared while waiting", st.ID)
+			}
+			if cur := j.snapshot(); terminal(cur.Status) {
+				if cur.Status != StatusDone {
+					t.Fatalf("job %s ended %s: %s", st.ID, cur.Status, cur.Error)
+				}
+				return st.ID
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s did not finish", st.ID)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	id1 := submitAndWait()
+	id2 := submitAndWait()
+	id3 := submitAndWait()
+	if _, ok := s.jobByID(id1); ok {
+		t.Errorf("oldest finished job %s survived past MaxJobs", id1)
+	}
+	for _, id := range []string{id2, id3} {
+		if _, ok := s.jobByID(id); !ok {
+			t.Errorf("job %s was evicted while within MaxJobs", id)
+		}
+	}
+}

@@ -22,6 +22,8 @@
 package pes
 
 import (
+	"net/http"
+
 	"repro/internal/acmp"
 	"repro/internal/batch"
 	"repro/internal/core"
@@ -29,6 +31,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/predictor"
 	"repro/internal/sched"
+	"repro/internal/server"
 	"repro/internal/sessions"
 	"repro/internal/trace"
 	"repro/internal/webapp"
@@ -208,3 +211,50 @@ func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConf
 // NewExperiments prepares the experiment harness (trains the predictor and
 // generates the evaluation corpus).
 func NewExperiments(cfg ExperimentConfig) (*Experiments, error) { return experiments.NewSetup(cfg) }
+
+// Simulation as a service.
+type (
+	// Campaign is a simulation campaign request: the cross product of
+	// applications, trace seeds and schedulers on one platform, optionally
+	// extended by a predictor sensitivity sweep.
+	Campaign = server.Campaign
+	// CampaignSweep adds a confidence-threshold sensitivity sweep to a
+	// campaign.
+	CampaignSweep = server.Sweep
+	// CampaignPlan is a validated, expanded campaign: batch sessions plus
+	// index-aligned per-session metadata.
+	CampaignPlan = server.Plan
+	// CampaignStatus is the status/progress view of a submitted campaign
+	// (the body of POST /v1/campaigns and GET /v1/campaigns/{id}).
+	CampaignStatus = server.JobStatus
+	// CampaignResults is the body of GET /v1/campaigns/{id}/results:
+	// per-session result rows plus aggregate energy/QoS tables.
+	CampaignResults = server.Results
+	// Server is the long-running simulation service. All campaigns and
+	// figure requests share one memo cache, so overlapping work simulates
+	// each unique session exactly once per server.
+	Server = server.Server
+	// ServerConfig parameterizes the service.
+	ServerConfig = server.Config
+)
+
+// NewCampaign validates a campaign and expands it into batch sessions using
+// the harness's trained learner and predictor defaults; run the plan's
+// Sessions with RunBatch (or a kept BatchRunner).
+func NewCampaign(c Campaign, x *Experiments) (*CampaignPlan, error) { return c.Expand(x) }
+
+// NewServer trains the shared harness state and starts the campaign
+// workers; expose it over HTTP with its Handler method, and Close it to
+// shut down.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Serve runs the simulation service on addr until the process exits (see
+// cmd/pes-serve for the graceful-shutdown variant).
+func Serve(addr string, cfg ServerConfig) error {
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return http.ListenAndServe(addr, s.Handler())
+}
