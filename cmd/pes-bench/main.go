@@ -1,0 +1,359 @@
+// Command pes-bench is the repo's performance-trajectory harness: it runs
+// the solver microbenchmark suite, representative scheduler sessions, and
+// the paper-figure benchmarks, and emits one JSON report. The committed
+// BENCH_pr3.json is the first point of that trajectory; CI re-runs the
+// harness on every PR and fails when the solver benchmarks regress more
+// than 20% against it.
+//
+//	pes-bench -quick -out BENCH.json                # fast PR-sized run
+//	pes-bench                                       # full-scale run to stdout
+//	pes-bench -quick -check -baseline BENCH_pr3.json
+//
+// The solver suite is identical in quick and full mode (it is cheap and its
+// node counters must stay comparable to the committed baseline); -quick only
+// shrinks the session and figure benchmarks. Node counters are fully
+// deterministic for a given -seed; wall times are host measurements and are
+// reported but never gated on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/acmp"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/ilp"
+	"repro/internal/ilp/chaingen"
+	"repro/internal/optimizer"
+	"repro/internal/predictor"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/webapp"
+)
+
+// Report is the emitted benchmark document.
+type Report struct {
+	// Version tags the report layout; bump when fields change meaning.
+	Version string `json:"version"`
+	// Quick records whether the session/figure benchmarks ran at reduced
+	// scale. The solver suite is scale-independent.
+	Quick bool `json:"quick"`
+	// Seed is the solver-suite RNG seed; reports are only comparable at
+	// equal seeds.
+	Seed     int64           `json:"seed"`
+	Solver   SolverReport    `json:"solver"`
+	Sessions []SessionReport `json:"sessions,omitempty"`
+	Figures  []FigureReport  `json:"figures,omitempty"`
+}
+
+// SolverReport summarizes the solver microbenchmark suite: the overhauled
+// Solve versus the frozen SolveReference on identical instances.
+type SolverReport struct {
+	// Problems is the number of instances in the suite; Aborted counts
+	// instances where either solver exhausted its node budget (excluded
+	// from the energy cross-check, included in the node counters).
+	Problems int `json:"problems"`
+	Aborted  int `json:"aborted"`
+	// Nodes and RefNodes are the summed branch-and-bound nodes explored by
+	// Solve and SolveReference; NodeRatio = RefNodes/Nodes is the headline
+	// reduction (the acceptance floor is 2x). All three are deterministic.
+	Nodes     int64   `json:"nodes"`
+	RefNodes  int64   `json:"ref_nodes"`
+	NodeRatio float64 `json:"node_ratio"`
+	// Wall-time per solve for Solve, SolveReference, and the Oracle's
+	// budget-pinned SolveReferenceOrder (host measurements).
+	NsPerSolve         float64 `json:"ns_per_solve"`
+	RefNsPerSolve      float64 `json:"ref_ns_per_solve"`
+	RefOrderNsPerSolve float64 `json:"ref_order_ns_per_solve"`
+	// EnergyMismatches counts non-aborted instances where Solve returned a
+	// different total energy than SolveReference; any value but 0 is a bug.
+	EnergyMismatches int `json:"energy_mismatches"`
+	// GreedyGapPct is the mean energy saving of the exact solve over the
+	// greedy heuristic, in percent — what the branch-and-bound buys.
+	GreedyGapPct float64 `json:"greedy_gap_pct"`
+}
+
+// SessionReport is one end-to-end scheduler session benchmark.
+type SessionReport struct {
+	App       string                `json:"app"`
+	TraceSeed int64                 `json:"trace_seed"`
+	Scheduler string                `json:"scheduler"`
+	Events    int                   `json:"events"`
+	WallMS    float64               `json:"wall_ms"`
+	Solver    optimizer.SolverStats `json:"solver"`
+}
+
+// FigureReport is one paper-figure benchmark: the wall time to produce the
+// figure and how many sessions it simulated.
+type FigureReport struct {
+	Name     string  `json:"name"`
+	WallMS   float64 `json:"wall_ms"`
+	Sessions int64   `json:"sessions"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatalf("pes-bench: %v", err)
+	}
+}
+
+// run is the testable body of the command: the JSON report goes to -out (or
+// stdout), progress and check verdicts to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pes-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "reduced session/figure scale (solver suite is unaffected)")
+	solverOnly := fs.Bool("solver-only", false, "run only the solver microbenchmark suite")
+	out := fs.String("out", "", "write the JSON report to this file (default: stdout)")
+	baseline := fs.String("baseline", "", "committed report to compare against (e.g. BENCH_pr3.json)")
+	check := fs.Bool("check", false, "with -baseline: exit non-zero when the solver benchmarks regress >20%")
+	seed := fs.Int64("seed", 1, "solver-suite RNG seed (must match the baseline's)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *check && *baseline == "" {
+		return fmt.Errorf("-check requires -baseline")
+	}
+
+	rep := Report{Version: "pr3", Quick: *quick, Seed: *seed}
+	rep.Solver = benchSolver(*seed)
+	if !*solverOnly {
+		sessions, err := benchSessions(*quick)
+		if err != nil {
+			return err
+		}
+		rep.Sessions = sessions
+		figures, err := benchFigures(*quick)
+		if err != nil {
+			return err
+		}
+		rep.Figures = figures
+	}
+
+	w := io.Writer(stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+
+	if *baseline != "" {
+		return checkBaseline(rep, *baseline, *check, stderr)
+	}
+	return nil
+}
+
+// benchSolver runs the solver microbenchmark suite: identical instances
+// through Solve, SolveReference, and SolveReferenceOrder. The instances
+// come from the shared chaingen distribution (the 17-point Exynos-shaped
+// ladder), the same one the ilp node-reduction property test pins.
+func benchSolver(seed int64) SolverReport {
+	// Sizes mirror the optimizer's real instances: PES plans span an
+	// outstanding event plus a handful of predicted ones. Larger windows
+	// (the Oracle's 12) exhaust the node budget in both solvers and would
+	// only measure the budget, so they are left to the session benchmarks.
+	const perSize = 30
+	sizes := []int{2, 3, 4, 6, 8}
+	pts := chaingen.Points()
+	rng := rand.New(rand.NewSource(seed))
+	var problems []ilp.Problem
+	for _, n := range sizes {
+		for k := 0; k < perSize; k++ {
+			problems = append(problems, chaingen.Problem(rng, pts, n))
+		}
+	}
+
+	rep := SolverReport{Problems: len(problems)}
+	var gapSum float64
+	var wallNew, wallRef, wallRefOrder time.Duration
+	completed := 0
+	for _, p := range problems {
+		begun := time.Now()
+		a := ilp.Solve(p)
+		dNew := time.Since(begun)
+
+		begun = time.Now()
+		r := ilp.SolveReference(p)
+		dRef := time.Since(begun)
+
+		begun = time.Now()
+		ilp.SolveReferenceOrder(p)
+		dRefOrder := time.Since(begun)
+
+		if a.Aborted() || r.Aborted() {
+			// A search that exhausted its budget measures the budget, not
+			// the algorithm; count it separately and keep it out of every
+			// counter the baseline check gates on.
+			rep.Aborted++
+			continue
+		}
+		completed++
+		wallNew += dNew
+		wallRef += dRef
+		wallRefOrder += dRefOrder
+		rep.Nodes += int64(a.Nodes)
+		rep.RefNodes += int64(r.Nodes)
+		if diff := a.TotalEnergy - r.TotalEnergy; diff > 1e-9 || diff < -1e-9 {
+			rep.EnergyMismatches++
+		}
+		if gr := ilp.SolveGreedy(p); gr.TotalEnergy > 0 {
+			gapSum += 100 * (gr.TotalEnergy - a.TotalEnergy) / gr.TotalEnergy
+		}
+	}
+	if rep.Nodes > 0 {
+		rep.NodeRatio = float64(rep.RefNodes) / float64(rep.Nodes)
+	}
+	if completed > 0 {
+		n := float64(completed)
+		rep.NsPerSolve = float64(wallNew.Nanoseconds()) / n
+		rep.RefNsPerSolve = float64(wallRef.Nanoseconds()) / n
+		rep.RefOrderNsPerSolve = float64(wallRefOrder.Nanoseconds()) / n
+		rep.GreedyGapPct = gapSum / n
+	}
+	return rep
+}
+
+// benchSessions replays fixed-seed sessions under the solver-bearing
+// schedulers and reports wall time plus the solver statistics threaded
+// through engine.Result.
+func benchSessions(quick bool) ([]SessionReport, error) {
+	type sess struct {
+		app  string
+		seed int64
+	}
+	corpus := []sess{{"cnn", 11}, {"ebay", 5}, {"espn", 9}}
+	if quick {
+		corpus = corpus[:1]
+	}
+	learner, _, err := predictor.TrainOnSeenApps(3, 400)
+	if err != nil {
+		return nil, err
+	}
+	platform := acmp.Exynos5410()
+	var out []SessionReport
+	for _, s := range corpus {
+		spec, err := webapp.ByName(s.app)
+		if err != nil {
+			return nil, err
+		}
+		tr := trace.Generate(spec, s.seed, trace.Options{})
+		evs, err := tr.Runtime()
+		if err != nil {
+			return nil, err
+		}
+		for _, schedName := range []string{"PES", "Oracle"} {
+			var policy sched.ProactivePolicy
+			if schedName == "PES" {
+				policy = core.NewPES(platform, learner, spec, tr.DOMSeed, predictor.DefaultConfig())
+			} else {
+				policy = sched.NewOracle(platform, evs)
+			}
+			begun := time.Now()
+			res := engine.RunProactive(platform, s.app, evs, policy)
+			out = append(out, SessionReport{
+				App:       s.app,
+				TraceSeed: s.seed,
+				Scheduler: schedName,
+				Events:    len(res.Outcomes),
+				WallMS:    float64(time.Since(begun).Nanoseconds()) / 1e6,
+				Solver:    res.Solver,
+			})
+		}
+	}
+	return out, nil
+}
+
+// benchFigures times the paper-figure pipeline: harness setup (training +
+// corpus generation) and the headline energy/QoS figures.
+func benchFigures(quick bool) ([]FigureReport, error) {
+	cfg := experiments.DefaultConfig()
+	cfg.Parallel = 1
+	if quick {
+		cfg.TrainTracesPerApp = 2
+		cfg.EvalTracesPerApp = 1
+	}
+	begun := time.Now()
+	setup, err := experiments.NewSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := []FigureReport{{Name: "setup", WallMS: float64(time.Since(begun).Nanoseconds()) / 1e6}}
+	for _, fig := range []struct {
+		name string
+		gen  func() (*experiments.Table, error)
+	}{{"fig11", setup.Fig11}, {"fig12", setup.Fig12}, {"fig13", setup.Fig13}} {
+		before := setup.Runner.Stats().UniqueRuns
+		begun := time.Now()
+		if _, err := fig.gen(); err != nil {
+			return nil, err
+		}
+		out = append(out, FigureReport{
+			Name:     fig.name,
+			WallMS:   float64(time.Since(begun).Nanoseconds()) / 1e6,
+			Sessions: setup.Runner.Stats().UniqueRuns - before,
+		})
+	}
+	return out, nil
+}
+
+// checkBaseline compares the current report against the committed baseline.
+// Only deterministic solver counters are gated (node counts must not grow
+// more than 20%, the node-reduction floor of 2x must hold, and the solvers
+// must agree on energies); wall times are printed for context but never
+// fail the check, since CI hardware varies.
+func checkBaseline(cur Report, path string, enforce bool, stderr io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	var failures []string
+	if base.Seed != cur.Seed || base.Solver.Problems != cur.Solver.Problems {
+		failures = append(failures, fmt.Sprintf("suite mismatch: baseline seed=%d/problems=%d, current seed=%d/problems=%d",
+			base.Seed, base.Solver.Problems, cur.Seed, cur.Solver.Problems))
+	}
+	if limit := float64(base.Solver.Nodes) * 1.2; float64(cur.Solver.Nodes) > limit {
+		failures = append(failures, fmt.Sprintf("solver node count regressed >20%%: %d vs baseline %d",
+			cur.Solver.Nodes, base.Solver.Nodes))
+	}
+	if cur.Solver.NodeRatio < 2 {
+		failures = append(failures, fmt.Sprintf("node-reduction ratio %.2f fell below the 2x floor", cur.Solver.NodeRatio))
+	}
+	if cur.Solver.EnergyMismatches > 0 {
+		failures = append(failures, fmt.Sprintf("%d instances where Solve and SolveReference disagree on energy",
+			cur.Solver.EnergyMismatches))
+	}
+	fmt.Fprintf(stderr, "pes-bench: nodes %d (baseline %d), node ratio %.2fx (baseline %.2fx), ns/solve %.0f (baseline %.0f, informational)\n",
+		cur.Solver.Nodes, base.Solver.Nodes, cur.Solver.NodeRatio, base.Solver.NodeRatio,
+		cur.Solver.NsPerSolve, base.Solver.NsPerSolve)
+	if len(failures) == 0 {
+		fmt.Fprintln(stderr, "pes-bench: no solver regressions against", path)
+		return nil
+	}
+	for _, f := range failures {
+		fmt.Fprintln(stderr, "pes-bench: REGRESSION:", f)
+	}
+	if enforce {
+		return fmt.Errorf("%d solver regression(s) against %s", len(failures), path)
+	}
+	return nil
+}

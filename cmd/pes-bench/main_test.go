@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSolverSuiteReport runs the solver microbenchmark suite and validates
+// the invariants the committed BENCH_pr3.json and the CI smoke job rely on:
+// the suite is non-trivial, the overhauled solver is energy-equivalent to
+// the reference, and the node reduction meets its 2x floor.
+func TestSolverSuiteReport(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-solver-only", "-seed", "1"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Version != "pr3" || rep.Solver.Problems == 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	if rep.Solver.EnergyMismatches != 0 {
+		t.Errorf("Solve and SolveReference disagreed on %d instances", rep.Solver.EnergyMismatches)
+	}
+	if rep.Solver.NodeRatio < 2 {
+		t.Errorf("node-reduction ratio %.2f is below the 2x acceptance floor", rep.Solver.NodeRatio)
+	}
+	if rep.Sessions != nil || rep.Figures != nil {
+		t.Error("-solver-only must omit the session and figure benchmarks")
+	}
+}
+
+// TestCheckAgainstBaseline round-trips a report through -out and -baseline:
+// a report never regresses against itself, and a tampered baseline with far
+// fewer nodes must fail the -check gate.
+func TestCheckAgainstBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-solver-only", "-out", path}, &out, &errOut); err != nil {
+		t.Fatalf("run -out: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("-out should leave stdout empty, got %q", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if err := run([]string{"-solver-only", "-baseline", path, "-check"}, &out, &errOut); err != nil {
+		t.Fatalf("self-check regressed: %v\n%s", err, errOut.String())
+	}
+
+	// Tamper: pretend the baseline explored far fewer nodes.
+	var rep Report
+	readJSON(t, path, &rep)
+	rep.Solver.Nodes /= 10
+	writeJSON(t, path, rep)
+	out.Reset()
+	errOut.Reset()
+	if err := run([]string{"-solver-only", "-baseline", path, "-check"}, &out, &errOut); err == nil {
+		t.Fatal("-check passed against a baseline with 10x fewer nodes")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nosuchflag"},
+		{"-check"}, // -check without -baseline
+		{"-solver-only", "-baseline", "does-not-exist.json"},
+	} {
+		var out, errOut bytes.Buffer
+		if err := run(args, &out, &errOut); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func readJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -28,44 +30,93 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	traces := flag.Int("traces", 3, "evaluation traces per application (figure endpoints)")
-	train := flag.Int("train", 8, "training traces per seen application")
-	seed := flag.Int64("seed", 1, "harness seed")
-	parallel := flag.Int("parallel", 0, "simulation worker-pool size (0 = number of CPUs)")
-	jobs := flag.Int("jobs", 2, "campaigns executed concurrently")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil && !errors.Is(err, flag.ErrHelp) {
+		log.Fatalf("pes-serve: %v", err)
+	}
+}
 
+// serveConfig is the validated flag state of one invocation.
+type serveConfig struct {
+	addr string
+	jobs int
+	exp  experiments.Config
+}
+
+// parseArgs parses and validates the command line; flag usage and parse
+// errors go to stderr.
+func parseArgs(args []string, stderr io.Writer) (serveConfig, error) {
+	fs := flag.NewFlagSet("pes-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	traces := fs.Int("traces", 3, "evaluation traces per application (figure endpoints)")
+	train := fs.Int("train", 8, "training traces per seen application")
+	seed := fs.Int64("seed", 1, "harness seed")
+	parallel := fs.Int("parallel", 0, "simulation worker-pool size (0 = number of CPUs)")
+	jobs := fs.Int("jobs", 2, "campaigns executed concurrently")
+	if err := fs.Parse(args); err != nil {
+		return serveConfig{}, err
+	}
+	if *addr == "" {
+		return serveConfig{}, fmt.Errorf("-addr must not be empty")
+	}
+	if *traces < 1 || *train < 1 {
+		return serveConfig{}, fmt.Errorf("-traces and -train must be at least 1")
+	}
+	if *parallel < 0 {
+		return serveConfig{}, fmt.Errorf("-parallel must not be negative")
+	}
+	if *jobs < 1 {
+		return serveConfig{}, fmt.Errorf("-jobs must be at least 1")
+	}
 	cfg := experiments.DefaultConfig()
 	cfg.EvalTracesPerApp = *traces
 	cfg.TrainTracesPerApp = *train
 	cfg.Seed = *seed
 	cfg.Parallel = *parallel
+	return serveConfig{addr: *addr, jobs: *jobs, exp: cfg}, nil
+}
 
-	log.Printf("pes-serve: training the predictor (%d traces/app)...", *train)
-	svc, err := server.New(server.Config{Experiments: cfg, JobWorkers: *jobs})
+// run is the testable body of the command, factored like pes-sim and
+// pes-experiments: flag handling and validation are separable from the
+// blocking serve loop, and all human-readable output flows through the
+// writers.
+func run(args []string, stdout, stderr io.Writer) error {
+	cfg, err := parseArgs(args, stderr)
 	if err != nil {
-		log.Fatalf("pes-serve: %v", err)
+		return err
+	}
+	return serve(cfg, stdout)
+}
+
+// serve trains the harness, listens on cfg.addr, and blocks until SIGINT or
+// SIGTERM triggers a graceful shutdown.
+func serve(cfg serveConfig, stdout io.Writer) error {
+	fmt.Fprintf(stdout, "pes-serve: training the predictor (%d traces/app)...\n", cfg.exp.TrainTracesPerApp)
+	svc, err := server.New(server.Config{Experiments: cfg.exp, JobWorkers: cfg.jobs})
+	if err != nil {
+		return err
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: svc.Handler()}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Printf("pes-serve: shutting down (queued campaigns are canceled, running ones finish)")
+		fmt.Fprintln(stdout, "pes-serve: shutting down (queued campaigns are canceled, running ones finish)")
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(ctx)
 	}()
 
-	log.Printf("pes-serve: listening on %s (%d simulation workers, %d campaign workers)",
-		*addr, svc.Setup().Runner.Workers(), *jobs)
+	fmt.Fprintf(stdout, "pes-serve: listening on %s (%d simulation workers, %d campaign workers)\n",
+		cfg.addr, svc.Setup().Runner.Workers(), cfg.jobs)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("pes-serve: %v", err)
+		svc.Close()
+		return err
 	}
 	svc.Close()
 	st := svc.Stats()
-	log.Printf("pes-serve: served %d sessions (%d simulated, %d from cache)",
-		st.Sessions, st.UniqueRuns, st.CacheHits)
+	fmt.Fprintf(stdout, "pes-serve: served %d sessions (%d simulated, %d from cache; %d solves, %d plan-cache hits)\n",
+		st.Sessions, st.UniqueRuns, st.CacheHits, st.Solver.Solves, st.Solver.PlanCacheHits)
+	return nil
 }

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// goldenUsage pins the full -h output of the command: the flag set is the
+// service's operator interface, so any drift here is an interface change.
+const goldenUsage = `Usage of pes-serve:
+  -addr string
+    	listen address (default ":8080")
+  -jobs int
+    	campaigns executed concurrently (default 2)
+  -parallel int
+    	simulation worker-pool size (0 = number of CPUs)
+  -seed int
+    	harness seed (default 1)
+  -traces int
+    	evaluation traces per application (figure endpoints) (default 3)
+  -train int
+    	training traces per seen application (default 8)
+`
+
+func TestRunGoldenUsage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-h"}, &out, &errOut)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("run(-h) = %v, want flag.ErrHelp", err)
+	}
+	if got := errOut.String(); got != goldenUsage {
+		t.Errorf("usage drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, goldenUsage)
+	}
+	if out.Len() != 0 {
+		t.Errorf("usage must go to stderr, stdout got %q", out.String())
+	}
+}
+
+func TestParseArgsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"bad flag", []string{"-nosuchflag"}, "flag provided but not defined"},
+		{"empty addr", []string{"-addr", ""}, "-addr"},
+		{"zero traces", []string{"-traces", "0"}, "-traces"},
+		{"zero train", []string{"-train", "0"}, "-train"},
+		{"negative parallel", []string{"-parallel", "-1"}, "-parallel"},
+		{"zero jobs", []string{"-jobs", "0"}, "-jobs"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var errOut bytes.Buffer
+			if _, err := parseArgs(c.args, &errOut); err == nil {
+				t.Fatalf("parseArgs(%v) succeeded, want error", c.args)
+			} else if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("parseArgs(%v) error %q does not mention %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseArgsDefaults(t *testing.T) {
+	var errOut bytes.Buffer
+	cfg, err := parseArgs(nil, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":8080" || cfg.jobs != 2 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	if cfg.exp.EvalTracesPerApp != 3 || cfg.exp.TrainTracesPerApp != 8 || cfg.exp.Seed != 1 {
+		t.Errorf("unexpected experiment defaults: %+v", cfg.exp)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/optimizer"
 )
 
 // Key identifies one unique session simulation. Two sessions with equal keys
@@ -55,6 +56,10 @@ type Stats struct {
 	UniqueRuns int64
 	// CacheHits is the number of sessions served from the memo cache.
 	CacheHits int64
+	// Solver sums the constrained-optimization work of the unique runs
+	// (sessions served from the memo cache contribute nothing — their
+	// solver work was never repeated).
+	Solver optimizer.SolverStats
 }
 
 // Runner executes batches of sessions on a worker pool with a memoized
@@ -69,6 +74,9 @@ type Runner struct {
 	sessions   atomic.Int64
 	uniqueRuns atomic.Int64
 	cacheHits  atomic.Int64
+
+	solverMu sync.Mutex
+	solver   optimizer.SolverStats
 }
 
 // entry is a singleflight-style cache slot: the first requester simulates,
@@ -94,10 +102,14 @@ func (r *Runner) Workers() int { return r.workers }
 
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() Stats {
+	r.solverMu.Lock()
+	solver := r.solver
+	r.solverMu.Unlock()
 	return Stats{
 		Sessions:   r.sessions.Load(),
 		UniqueRuns: r.uniqueRuns.Load(),
 		CacheHits:  r.cacheHits.Load(),
+		Solver:     solver,
 	}
 }
 
@@ -122,6 +134,11 @@ func (r *Runner) one(s Session) (*engine.Result, error) {
 		hit = false
 		r.uniqueRuns.Add(1)
 		e.res, e.err = s.Run()
+		if e.res != nil {
+			r.solverMu.Lock()
+			r.solver = r.solver.Add(e.res.Solver)
+			r.solverMu.Unlock()
+		}
 	})
 	if hit {
 		r.cacheHits.Add(1)

@@ -173,4 +173,11 @@ func (p *PES) OnReactiveEvent() { p.fallback.OnReactiveEvent() }
 // SpeculationEnabled implements sched.ProactivePolicy.
 func (p *PES) SpeculationEnabled() bool { return p.fallback.Enabled() }
 
-var _ sched.ProactivePolicy = (*PES)(nil)
+// SolverStats implements sched.SolverStatsProvider: the optimizer's
+// accumulated solve/node/plan-cache counters and solver wall time.
+func (p *PES) SolverStats() optimizer.SolverStats { return p.opt.Stats() }
+
+var (
+	_ sched.ProactivePolicy     = (*PES)(nil)
+	_ sched.SolverStatsProvider = (*PES)(nil)
+)

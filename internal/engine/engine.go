@@ -21,7 +21,9 @@ package engine
 
 import (
 	"repro/internal/acmp"
+	"repro/internal/optimizer"
 	"repro/internal/render"
+	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/webevent"
 )
@@ -87,6 +89,13 @@ type Result struct {
 	// Duration is the simulated session length (first trigger to last
 	// frame).
 	Duration simtime.Duration
+
+	// Solver aggregates the constrained-optimization work of the session's
+	// scheduler: solve count, branch-and-bound nodes, plan-cache hits, and
+	// solver wall time (Sec. 6.3 overhead analysis). It is zero for
+	// schedulers that never solve (the governors and EBS). All counters
+	// except the wall time are deterministic for a deterministic run.
+	Solver optimizer.SolverStats
 }
 
 // finalize computes the derived aggregates.
@@ -278,5 +287,8 @@ func Run(p *acmp.Platform, app string, events []*webevent.Event, pol Policy) *Re
 		pol.AfterDispatch(ec, e, i)
 	}
 	res.finalize()
+	if sp, ok := pol.(sched.SolverStatsProvider); ok {
+		res.Solver = sp.SolverStats()
+	}
 	return res
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"repro/internal/acmp"
 	"repro/internal/control"
+	"repro/internal/optimizer"
 	"repro/internal/render"
 	"repro/internal/sched"
 	"repro/internal/simtime"
@@ -47,6 +48,15 @@ func RunProactive(p *acmp.Platform, app string, events []*webevent.Event, policy
 }
 
 func (a *proactiveAdapter) Name() string { return a.policy.Name() }
+
+// SolverStats implements sched.SolverStatsProvider by delegating to the
+// wrapped policy, so Run picks the stats up through the adapter.
+func (a *proactiveAdapter) SolverStats() optimizer.SolverStats {
+	if sp, ok := a.policy.(sched.SolverStatsProvider); ok {
+		return sp.SolverStats()
+	}
+	return optimizer.SolverStats{}
+}
 
 // hasSpeculation reports whether any prediction is still outstanding. A
 // committed in-flight execution no longer counts: it belongs to an event

@@ -1,0 +1,68 @@
+// Package chaingen generates optimizer-shaped chain-scheduling instances.
+// It is the single source of the synthetic problem shape shared by the ilp
+// solver's equivalence/node-reduction tests and the cmd/pes-bench
+// microbenchmark suite, so the property tests and the committed benchmark
+// baseline (BENCH_pr3.json) always measure the same distribution.
+package chaingen
+
+import (
+	"math/rand"
+
+	"repro/internal/ilp"
+	"repro/internal/simtime"
+)
+
+// Point is one synthetic ACMP operating point: the CPI-adjusted effective
+// frequency and the active power drawn while executing on it.
+type Point struct {
+	EffMHz  float64
+	PowerMW float64
+}
+
+// Points returns the 17-point DVFS ladder mirroring the Exynos 5410
+// platform model's shape: a CPI-penalized little cluster (350–600 MHz in
+// 50 MHz steps, CPI 1.9, ~85–215 mW) and a big cluster (800–1800 MHz in
+// 100 MHz steps, ~0.7–3.4 W, superlinear in frequency).
+func Points() []Point {
+	var pts []Point
+	for f := 350.0; f <= 600; f += 50 {
+		pts = append(pts, Point{EffMHz: f / 1.9, PowerMW: 85 + 0.52*(f-350)})
+	}
+	for f := 800.0; f <= 1800; f += 100 {
+		pts = append(pts, Point{EffMHz: f, PowerMW: 180 + f*f*0.00102})
+	}
+	return pts
+}
+
+// Problem generates one instance of items chained events: workloads drawn
+// from the paper's interaction mix (mostly taps, occasional moves and
+// loads) through the DVFS latency law, deadlines following the trigger
+// chain with interaction-typical QoS slack.
+func Problem(rng *rand.Rand, pts []Point, items int) ilp.Problem {
+	p := ilp.Problem{Start: simtime.Time(rng.Intn(1000))}
+	now := p.Start
+	for i := 0; i < items; i++ {
+		var tmemMS, mcycles, qosMS float64
+		switch rng.Intn(6) {
+		case 0:
+			tmemMS, mcycles, qosMS = 3, 18, 33 // move
+		case 1:
+			tmemMS, mcycles, qosMS = 380, 4400, 3000 // load
+		default:
+			tmemMS, mcycles, qosMS = 26, 520, 300 // tap
+		}
+		scale := 0.5 + rng.Float64()
+		var cs []ilp.Choice
+		for _, pt := range pts {
+			lat := simtime.Duration(scale * (tmemMS*1000 + mcycles*1e6/pt.EffMHz))
+			cs = append(cs, ilp.Choice{Latency: lat, Energy: pt.PowerMW * lat.Seconds()})
+		}
+		trigger := now
+		now = now.Add(simtime.Duration(qosMS * (0.4 + 1.2*rng.Float64()) * 1000))
+		p.Items = append(p.Items, ilp.Item{
+			Deadline: trigger.Add(simtime.Duration(qosMS * 1000)),
+			Choices:  cs,
+		})
+	}
+	return p
+}

@@ -7,6 +7,10 @@
 package optimizer
 
 import (
+	"fmt"
+	"strings"
+	"time"
+
 	"repro/internal/acmp"
 	"repro/internal/ilp"
 	"repro/internal/render"
@@ -33,6 +37,12 @@ type CostModel struct {
 	platform *acmp.Platform
 	obs      map[webevent.Signature][]obsPoint
 	defaults map[webevent.Interaction]acmp.Workload
+
+	// rev counts Observe calls. Every observation can shift the workload
+	// estimate of its signature and therefore the latency/energy choices of
+	// any problem mentioning it; the optimizer's plan cache is valid only
+	// while the revision it was filled under is current.
+	rev int
 }
 
 // NewCostModel creates a cost model for the platform.
@@ -64,6 +74,7 @@ func (c *CostModel) Observe(sig webevent.Signature, cfg acmp.Config, execLatency
 		pts = pts[len(pts)-maxObservations:]
 	}
 	c.obs[sig] = pts
+	c.rev++
 }
 
 // Observations returns how many latency samples the model holds for the
@@ -193,37 +204,126 @@ type Task struct {
 	Predicted bool
 }
 
+// SolverStats aggregates the constrained-optimization work of one scheduler
+// instance (and, summed, of whole sessions, batches, and campaigns): how
+// many solves ran, how much search they did, how many solves the plan cache
+// absorbed, and the wall-clock time spent inside the solver. The counters
+// other than WallNS are fully deterministic for a deterministic simulation.
+type SolverStats struct {
+	// Solves counts ilp.Solve invocations (plan-cache misses included,
+	// cache hits excluded).
+	Solves int `json:"solves"`
+	// Nodes sums the branch-and-bound candidates explored across solves.
+	Nodes int64 `json:"nodes"`
+	// PlanCacheHits counts Schedule calls answered from the plan cache
+	// without solving.
+	PlanCacheHits int `json:"plan_cache_hits"`
+	// WallNS is the wall-clock time spent inside ilp.Solve, in nanoseconds.
+	// It is a host measurement: the one non-deterministic field.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// Add returns the element-wise sum of two stat records.
+func (s SolverStats) Add(o SolverStats) SolverStats {
+	return SolverStats{
+		Solves:        s.Solves + o.Solves,
+		Nodes:         s.Nodes + o.Nodes,
+		PlanCacheHits: s.PlanCacheHits + o.PlanCacheHits,
+		WallNS:        s.WallNS + o.WallNS,
+	}
+}
+
+// cachedPlan is one memoized solve: the chosen indices into the platform's
+// configuration list plus the solution's feasibility verdict.
+type cachedPlan struct {
+	choice   []int
+	feasible bool
+}
+
+// maxCachedPlans bounds the plan cache between invalidations; the cache is
+// cleared wholesale whenever the cost model learns, so the bound only
+// matters for pathological no-observation workloads.
+const maxCachedPlans = 256
+
 // Optimizer assembles and solves the constrained optimization problem over
-// outstanding plus predicted events.
+// outstanding plus predicted events. It is incremental: solved plans are
+// memoized in a cache keyed by a fingerprint of the problem — the start
+// time and every task's (signature, deadline) — and invalidated when the
+// cost model's revision moves, so re-planning over an unchanged horizon
+// (e.g. after a correct prediction confirmed the standing plan) reuses the
+// standing assignment instead of re-solving.
 type Optimizer struct {
 	platform *acmp.Platform
 	cost     *CostModel
 
-	// SolveCount and NodeCount accumulate solver statistics for the overhead
-	// analysis (Sec. 6.3).
-	SolveCount int
-	NodeCount  int
+	stats SolverStats
+
+	// plans is the plan cache; planRev is the cost-model revision its
+	// entries were computed under.
+	plans   map[string]cachedPlan
+	planRev int
 }
 
 // New creates an optimizer using the given cost model.
 func New(p *acmp.Platform, cost *CostModel) *Optimizer {
-	return &Optimizer{platform: p, cost: cost}
+	return &Optimizer{platform: p, cost: cost, plans: make(map[string]cachedPlan)}
 }
 
 // Cost exposes the cost model (shared with the EBS fallback path).
 func (o *Optimizer) Cost() *CostModel { return o.cost }
+
+// Stats returns the accumulated solver statistics.
+func (o *Optimizer) Stats() SolverStats { return o.stats }
+
+// ResetPlanCache drops every memoized plan. Benchmarks and the overhead
+// table use it to measure the raw solve path; production code never needs
+// it (the cache self-invalidates on cost-model revisions).
+func (o *Optimizer) ResetPlanCache() {
+	clear(o.plans)
+}
+
+// planKey fingerprints a Schedule call. Two calls with equal keys under the
+// same cost-model revision build the identical ilp.Problem — the choice set
+// of a task is a pure function of (signature, cost model, platform), and
+// the chain constraints are a pure function of (start, deadlines) — so the
+// memoized assignment is exactly what ilp.Solve would return. The key spells
+// out the full (outstanding events + predicted suffix, deadlines) contents
+// rather than hashing them, so a collision cannot silently corrupt a plan.
+func planKey(start simtime.Time, tasks []*Task) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", start)
+	for _, t := range tasks {
+		fmt.Fprintf(&b, "|%s/%d/%d@%d", t.Signature.App, t.Signature.Type, t.Signature.TargetKind, t.Deadline)
+	}
+	return b.String()
+}
 
 // Schedule assigns a configuration to every task such that the total
 // predicted energy is minimized while each task finishes by its deadline
 // when execution starts at start (Eqn. 5). Infeasible deadlines (Type I
 // events) are met as early as possible. It returns whether all original
 // deadlines are predicted to be met.
+//
+// A repeated horizon (same start, same task signatures and deadlines, no
+// cost-model update in between) is answered from the plan cache without
+// solving; the applied assignment is identical either way.
 func (o *Optimizer) Schedule(start simtime.Time, tasks []*Task) bool {
 	if len(tasks) == 0 {
 		return true
 	}
-	prob := ilp.Problem{Start: start}
+	if o.planRev != o.cost.rev {
+		clear(o.plans)
+		o.planRev = o.cost.rev
+	}
 	configs := o.platform.Configs()
+	key := planKey(start, tasks)
+	if plan, ok := o.plans[key]; ok {
+		o.stats.PlanCacheHits++
+		o.apply(tasks, plan.choice, configs)
+		return plan.feasible
+	}
+
+	prob := ilp.Problem{Start: start}
 	for _, t := range tasks {
 		item := ilp.Item{Deadline: t.Deadline.Add(-render.DisplayMargin)}
 		for _, cfg := range configs {
@@ -235,13 +335,23 @@ func (o *Optimizer) Schedule(start simtime.Time, tasks []*Task) bool {
 		}
 		prob.Items = append(prob.Items, item)
 	}
+	begun := time.Now()
 	sol := ilp.Solve(prob)
-	o.SolveCount++
-	o.NodeCount += sol.Nodes
+	o.stats.WallNS += time.Since(begun).Nanoseconds()
+	o.stats.Solves++
+	o.stats.Nodes += int64(sol.Nodes)
+	if len(o.plans) < maxCachedPlans {
+		o.plans[key] = cachedPlan{choice: sol.Choice, feasible: sol.Feasible}
+	}
+	o.apply(tasks, sol.Choice, configs)
+	return sol.Feasible
+}
+
+// apply installs a solve's choice indices onto the tasks.
+func (o *Optimizer) apply(tasks []*Task, choice []int, configs []acmp.Config) {
 	for i, t := range tasks {
-		cfg := configs[sol.Choice[i]]
+		cfg := configs[choice[i]]
 		t.Config = cfg
 		t.EstimatedLatency = o.cost.PredictLatency(t.Signature, cfg)
 	}
-	return sol.Feasible
 }

@@ -150,8 +150,8 @@ func TestScheduleCoordinatesAcrossEvents(t *testing.T) {
 			t.Fatalf("task %d has no latency estimate", i)
 		}
 	}
-	if opt.SolveCount != 1 || opt.NodeCount <= 0 {
-		t.Errorf("solver statistics not recorded: %d/%d", opt.SolveCount, opt.NodeCount)
+	if st := opt.Stats(); st.Solves != 1 || st.Nodes <= 0 {
+		t.Errorf("solver statistics not recorded: %+v", st)
 	}
 	if opt.Cost() != c {
 		t.Error("Cost() should expose the cost model")
@@ -159,6 +159,45 @@ func TestScheduleCoordinatesAcrossEvents(t *testing.T) {
 	// An empty schedule is trivially feasible.
 	if !opt.Schedule(0, nil) {
 		t.Error("empty schedule should be feasible")
+	}
+
+	// Re-planning the identical horizon with no cost-model update in
+	// between must come from the plan cache — no new solve — and must
+	// install the identical assignment.
+	want := []acmp.Config{tasks[0].Config, tasks[1].Config}
+	for i := range tasks {
+		tasks[i].Config = acmp.Config{}
+		tasks[i].EstimatedLatency = 0
+	}
+	if !opt.Schedule(0, tasks) {
+		t.Error("cached schedule should be feasible")
+	}
+	st := opt.Stats()
+	if st.Solves != 1 || st.PlanCacheHits != 1 {
+		t.Errorf("repeat Schedule should hit the plan cache: %+v", st)
+	}
+	for i := range tasks {
+		if tasks[i].Config != want[i] {
+			t.Errorf("task %d: cached config %v, want %v", i, tasks[i].Config, want[i])
+		}
+		if tasks[i].EstimatedLatency <= 0 {
+			t.Errorf("task %d: cached plan lost the latency estimate", i)
+		}
+	}
+
+	// A cost-model observation invalidates the cache: the same horizon
+	// solves again.
+	c.Observe(tapSig, p.MaxPerformance(), p.Latency(tapWork, p.MaxPerformance()))
+	opt.Schedule(0, tasks)
+	if st := opt.Stats(); st.Solves != 2 || st.PlanCacheHits != 1 {
+		t.Errorf("cost-model revision should invalidate the plan cache: %+v", st)
+	}
+
+	// ResetPlanCache forces the next identical horizon to solve again.
+	opt.ResetPlanCache()
+	opt.Schedule(0, tasks)
+	if st := opt.Stats(); st.Solves != 3 {
+		t.Errorf("ResetPlanCache should force a fresh solve: %+v", st)
 	}
 }
 

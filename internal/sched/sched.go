@@ -85,6 +85,15 @@ type ProactivePolicy interface {
 	SpeculationEnabled() bool
 }
 
+// SolverStatsProvider is implemented by schedulers that run the constrained
+// optimizer (PES and the Oracle). The engine copies the stats into the
+// session Result after a run, from where the batch runner and the campaign
+// results endpoint aggregate them.
+type SolverStatsProvider interface {
+	// SolverStats returns the scheduler's accumulated solver statistics.
+	SolverStats() optimizer.SolverStats
+}
+
 // PerformanceLadder returns every configuration of the platform ordered from
 // lowest to highest performance (little cluster ascending, then big cluster
 // ascending) — the ladder utilization-driven governors walk.

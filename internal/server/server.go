@@ -12,6 +12,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/optimizer"
 )
 
 // Config parameterizes the service.
@@ -116,8 +117,13 @@ type Results struct {
 	// Tables are the aggregate energy and QoS tables (the shape the figure
 	// harness computes for Fig. 11/12) over the campaign's sessions.
 	Tables []*experiments.Table `json:"tables"`
+	// Solver sums the constrained-optimization statistics over the
+	// campaign's session results (cache-served sessions report the stats of
+	// the one simulation that produced them).
+	Solver optimizer.SolverStats `json:"solver"`
 	// Stats snapshots the shared runner's memo-cache counters after the
-	// campaign completed.
+	// campaign completed; its Solver field counts only work actually
+	// performed by this server's unique runs.
 	Stats batch.Stats `json:"stats"`
 }
 
@@ -429,13 +435,16 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	results := j.results
 	j.mu.Unlock()
 	rows := make([]ResultRow, 0, len(results))
+	var solver optimizer.SolverStats
 	for i, res := range results {
 		rows = append(rows, ResultRow{SessionMeta: j.plan.Meta[i], Result: res})
+		solver = solver.Add(res.Solver)
 	}
 	writeJSON(w, http.StatusOK, Results{
 		ID:     j.id,
 		Rows:   rows,
 		Tables: j.plan.Tables(results),
+		Solver: solver,
 		Stats:  s.Stats(),
 	})
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/optimizer"
 	"repro/internal/predictor"
 	"repro/internal/sched"
 	"repro/internal/server"
@@ -140,10 +141,17 @@ func NewPES(p *Platform, learner *SequenceLearner, spec *AppSpec, domSeed int64,
 
 // Simulation.
 type (
-	// Result aggregates one simulated session (energy, QoS, speculation).
+	// Result aggregates one simulated session (energy, QoS, speculation,
+	// solver statistics).
 	Result = engine.Result
 	// Outcome is the per-event record of a simulation.
 	Outcome = engine.Outcome
+	// SolverStats aggregates constrained-optimization work: solve count,
+	// branch-and-bound nodes explored, plan-cache hits, and solver wall
+	// time. It appears per session in Result.Solver, summed over a runner's
+	// unique runs in BatchStats.Solver, and summed over a campaign in
+	// CampaignResults.Solver.
+	SolverStats = optimizer.SolverStats
 )
 
 // RunReactive replays events under a reactive scheduler.
