@@ -21,7 +21,7 @@ func TestSolverSuiteReport(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	if rep.Version != "pr3" || rep.Solver.Problems == 0 {
+	if rep.Version != "pr4" || rep.Solver.Problems == 0 {
 		t.Fatalf("degenerate report: %+v", rep)
 	}
 	if rep.Solver.EnergyMismatches != 0 {
@@ -30,8 +30,32 @@ func TestSolverSuiteReport(t *testing.T) {
 	if rep.Solver.NodeRatio < 2 {
 		t.Errorf("node-reduction ratio %.2f is below the 2x acceptance floor", rep.Solver.NodeRatio)
 	}
-	if rep.Sessions != nil || rep.Figures != nil {
-		t.Error("-solver-only must omit the session and figure benchmarks")
+	if rep.Sessions != nil || rep.Throughput != nil || rep.Figures != nil {
+		t.Error("-solver-only must omit the session, throughput and figure benchmarks")
+	}
+}
+
+// TestThroughputGate feeds checkBaseline a report whose warm/cold ratio is
+// below the floor and expects the -check gate to fail, and one above it to
+// pass.
+func TestThroughputGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-solver-only", "-out", path}, &out, &errOut); err != nil {
+		t.Fatalf("run -out: %v", err)
+	}
+	var base Report
+	readJSON(t, path, &base)
+
+	cur := base
+	cur.Throughput = &ThroughputReport{WarmColdRatio: warmColdRatioFloor - 0.1}
+	if err := checkBaseline(cur, path, true, &errOut); err == nil {
+		t.Error("checkBaseline passed a warm/cold ratio below the floor")
+	}
+	cur.Throughput = &ThroughputReport{WarmColdRatio: warmColdRatioFloor + 0.1}
+	if err := checkBaseline(cur, path, true, &errOut); err != nil {
+		t.Errorf("checkBaseline failed a warm/cold ratio above the floor: %v", err)
 	}
 }
 
@@ -64,6 +88,53 @@ func TestCheckAgainstBaseline(t *testing.T) {
 	errOut.Reset()
 	if err := run([]string{"-solver-only", "-baseline", path, "-check"}, &out, &errOut); err == nil {
 		t.Fatal("-check passed against a baseline with 10x fewer nodes")
+	}
+}
+
+// TestThroughputBenchmarkScaled runs the throughput campaign at a tiny
+// scale and validates the report's shape and invariants: every session is
+// unique, every mode measured, and the per-scheduler breakdown covers all
+// five schedulers.
+func TestThroughputBenchmarkScaled(t *testing.T) {
+	rep, err := benchThroughputScaled(throughputScale{apps: []string{"espn"}, seeds: []int64{9}, reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 5 || rep.Events == 0 {
+		t.Fatalf("degenerate throughput report: %+v", rep)
+	}
+	if rep.ColdSerialSPS <= 0 || rep.WarmSerialSPS <= 0 || rep.WarmParallelSPS <= 0 {
+		t.Errorf("all three rates must be measured: %+v", rep)
+	}
+	if rep.WarmColdRatio <= 0 || rep.WarmEventsPerSec <= 0 {
+		t.Errorf("derived rates must be positive: %+v", rep)
+	}
+	if len(rep.BySched) != 5 {
+		t.Fatalf("per-scheduler breakdown has %d rows, want 5", len(rep.BySched))
+	}
+	for _, s := range rep.BySched {
+		if s.Sessions != 1 || s.ColdSerialSPS <= 0 || s.WarmSerialSPS <= 0 {
+			t.Errorf("scheduler row not fully measured: %+v", s)
+		}
+	}
+}
+
+// TestSessionBenchmarkQuick covers the session suite at quick scale.
+func TestSessionBenchmarkQuick(t *testing.T) {
+	reps, err := benchSessions(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("quick session suite has %d entries, want 2 (PES + Oracle)", len(reps))
+	}
+	for _, r := range reps {
+		if r.Events == 0 || r.WallMS <= 0 {
+			t.Errorf("degenerate session report: %+v", r)
+		}
+		if r.Scheduler == "PES" && r.Solver.Solves == 0 {
+			t.Errorf("PES session reported no solves: %+v", r)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/artifacts"
 	"repro/internal/engine"
 	"repro/internal/optimizer"
 )
@@ -60,13 +61,21 @@ type Stats struct {
 	// (sessions served from the memo cache contribute nothing — their
 	// solver work was never repeated).
 	Solver optimizer.SolverStats
+	// Artifacts snapshots the shared artifact store attached to the runner
+	// (nil when none is attached): how often the session inputs — traces,
+	// runtime events, fingerprints, trained learners, DOM pages — were
+	// served from cache instead of regenerated. The tag matches the
+	// sibling fields' (untagged) PascalCase so the served stats payload
+	// keeps one casing style.
+	Artifacts *artifacts.Stats `json:"Artifacts,omitempty"`
 }
 
 // Runner executes batches of sessions on a worker pool with a memoized
 // result cache. A Runner is safe for concurrent use and may be reused
 // across batches; the cache persists for its lifetime.
 type Runner struct {
-	workers int
+	workers   int
+	artifacts *artifacts.Store
 
 	mu    sync.Mutex
 	cache map[Key]*entry
@@ -100,17 +109,30 @@ func NewRunner(workers int) *Runner {
 // Workers returns the worker-pool size.
 func (r *Runner) Workers() int { return r.workers }
 
+// AttachArtifacts associates the shared artifact store whose counters Stats
+// should report alongside the memo-cache counters. It returns the runner for
+// chaining. Attach before the runner is shared across goroutines.
+func (r *Runner) AttachArtifacts(s *artifacts.Store) *Runner {
+	r.artifacts = s
+	return r
+}
+
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() Stats {
 	r.solverMu.Lock()
 	solver := r.solver
 	r.solverMu.Unlock()
-	return Stats{
+	st := Stats{
 		Sessions:   r.sessions.Load(),
 		UniqueRuns: r.uniqueRuns.Load(),
 		CacheHits:  r.cacheHits.Load(),
 		Solver:     solver,
 	}
+	if r.artifacts != nil {
+		a := r.artifacts.Stats()
+		st.Artifacts = &a
+	}
+	return st
 }
 
 // entryFor returns the cache slot for a key, creating it if needed.

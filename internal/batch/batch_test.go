@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/acmp"
+	"repro/internal/artifacts"
 	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -265,5 +266,28 @@ func TestRunWithProgressErrorsStillReport(t *testing.T) {
 	}
 	if calls != 2 {
 		t.Errorf("progress called %d times, want 2 (failed sessions count as resolved)", calls)
+	}
+}
+
+func TestStatsCarryAttachedArtifacts(t *testing.T) {
+	store := artifacts.NewStore()
+	r := NewRunner(1)
+	if r.Stats().Artifacts != nil {
+		t.Error("unattached runner must not report artifact stats")
+	}
+	if got := r.AttachArtifacts(store); got != r {
+		t.Error("AttachArtifacts must return the runner for chaining")
+	}
+	spec := webapp.SeenApps()[0]
+	tr := store.Trace(spec, 31, trace.PurposeEval, trace.Options{})
+	if _, err := store.Runtime(tr); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Artifacts == nil {
+		t.Fatal("attached runner must snapshot artifact stats")
+	}
+	if st.Artifacts.TraceBuilds != 1 || st.Artifacts.RuntimeBuilds != 1 {
+		t.Errorf("artifact counters not threaded: %+v", st.Artifacts)
 	}
 }

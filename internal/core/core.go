@@ -30,6 +30,14 @@ type PES struct {
 
 	lastTrigger simtime.Time
 	haveEvent   bool
+
+	// Reusable planning buffers: the optimizer tasks (values plus the
+	// pointer list Schedule takes) and the returned speculative schedule.
+	// Plan's result is consumed synchronously by the engine adapter, so the
+	// buffers are recycled on the next planning round.
+	taskBuf  []optimizer.Task
+	taskPtrs []*optimizer.Task
+	outBuf   []sched.SpecTask
 }
 
 // Option customizes a PES instance.
@@ -83,7 +91,8 @@ func (p *PES) Observe(e *webevent.Event) {
 // Plan implements sched.ProactivePolicy: it predicts the upcoming event
 // sequence and solves the constrained optimization problem over the
 // outstanding events plus the predicted events, producing the speculative
-// schedule.
+// schedule. The returned slice is a reusable buffer owned by the scheduler;
+// it is valid until the next Plan call (the engine consumes it immediately).
 func (p *PES) Plan(start simtime.Time, outstanding []*webevent.Event) []sched.SpecTask {
 	if !p.fallback.Enabled() {
 		return nil
@@ -93,9 +102,9 @@ func (p *PES) Plan(start simtime.Time, outstanding []*webevent.Event) []sched.Sp
 		return nil
 	}
 
-	var tasks []*optimizer.Task
+	p.taskBuf = p.taskBuf[:0]
 	for _, e := range outstanding {
-		tasks = append(tasks, &optimizer.Task{
+		p.taskBuf = append(p.taskBuf, optimizer.Task{
 			Event:           e,
 			Type:            e.Type,
 			Signature:       e.Signature(),
@@ -105,26 +114,20 @@ func (p *PES) Plan(start simtime.Time, outstanding []*webevent.Event) []sched.Sp
 	}
 	// Predicted events: their deadlines are anchored at the expected trigger
 	// times accumulated from the last observed event. A predicted page load
-	// that is not the immediately next prediction participates in the
-	// coordinated schedule (so that preceding and following events are
-	// provisioned around it) but is marked hold-until-trigger: its network
-	// requests are suppressed until the triggering navigation is confirmed
-	// (Sec. 5.3), so it cannot be usefully pre-rendered.
+	// whose content depends on suppressed network requests (Sec. 5.3) cannot
+	// be usefully pre-rendered, so the speculative sequence stops at a deep
+	// predicted load: the DOM state beyond it is too uncertain — committing
+	// the load starts a fresh prediction round instead.
 	expected := p.lastTrigger
 	if len(outstanding) > 0 {
 		expected = outstanding[len(outstanding)-1].Trigger
 	}
-	held := make(map[int]bool)
 	for i, pr := range preds {
 		if pr.Type == webevent.Load && i > 0 {
-			// Stop the speculative sequence at a deep predicted load: its
-			// content depends on suppressed network requests, and the DOM
-			// state beyond it is too uncertain for useful speculation —
-			// committing the load starts a fresh prediction round instead.
 			break
 		}
 		expected = expected.Add(pr.ExpectedGap)
-		tasks = append(tasks, &optimizer.Task{
+		p.taskBuf = append(p.taskBuf, optimizer.Task{
 			Type:            pr.Type,
 			Signature:       webevent.Signature{App: p.spec.Name, Type: pr.Type, TargetKind: webevent.NodeKind(pr.TargetKind)},
 			ExpectedTrigger: expected,
@@ -132,21 +135,25 @@ func (p *PES) Plan(start simtime.Time, outstanding []*webevent.Event) []sched.Sp
 			Predicted:       true,
 		})
 	}
-	p.opt.Schedule(start, tasks)
+	p.taskPtrs = p.taskPtrs[:0]
+	for i := range p.taskBuf {
+		p.taskPtrs = append(p.taskPtrs, &p.taskBuf[i])
+	}
+	p.opt.Schedule(start, p.taskPtrs)
 
-	out := make([]sched.SpecTask, 0, len(tasks))
-	for i, t := range tasks {
-		out = append(out, sched.SpecTask{
+	p.outBuf = p.outBuf[:0]
+	for i := range p.taskBuf {
+		t := &p.taskBuf[i]
+		p.outBuf = append(p.outBuf, sched.SpecTask{
 			Event:            t.Event,
 			Type:             t.Type,
 			Signature:        t.Signature,
 			Config:           t.Config,
 			EstimatedLatency: t.EstimatedLatency,
 			ExpectedTrigger:  t.ExpectedTrigger,
-			HoldUntilTrigger: held[i],
 		})
 	}
-	return out
+	return p.outBuf
 }
 
 // ReactiveConfig implements sched.ProactivePolicy: when speculation is not

@@ -14,7 +14,6 @@ package dom
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/webevent"
 )
@@ -158,6 +157,24 @@ func (t *Tree) Add(n *Node) NodeID {
 
 // Root returns the ID of the document root.
 func (t *Tree) Root() NodeID { return t.root }
+
+// Clone returns an independent copy of the tree that can be mutated (menu
+// toggles, scrolling) without affecting the receiver. Node value fields are
+// copied; the Children and Listeners slices are shared with the original
+// because they are only ever appended to while a page is being built, never
+// after. Cloning a built page is much cheaper than rebuilding it, which is
+// what makes the shared page-tree cache (package webapp) pay off.
+func (t *Tree) Clone() *Tree {
+	ct := *t
+	ct.nodes = make([]*Node, len(t.nodes))
+	// nodes[0] is the nil "none" slot; copy the rest by value.
+	copied := make([]Node, len(t.nodes)-1)
+	for i, n := range t.nodes[1:] {
+		copied[i] = *n
+		ct.nodes[i+1] = &copied[i]
+	}
+	return &ct
+}
 
 // Len returns the number of nodes in the tree.
 func (t *Tree) Len() int { return len(t.nodes) - 1 }
@@ -330,6 +347,20 @@ func (t *Tree) VisibleTappable() []NodeID {
 	return out
 }
 
+// VisitVisibleTappable calls f for every visible tappable node in ID order
+// (the same order VisibleTappable returns), stopping early when f returns
+// false. It is the allocation-free counterpart of VisibleTappable, used on
+// the predictor's per-event path.
+func (t *Tree) VisitVisibleTappable(f func(*Node) bool) {
+	for _, n := range t.nodes[1:] {
+		if n.Tappable() && !t.effectiveHidden(n) && t.inViewport(n) {
+			if !f(n) {
+				return
+			}
+		}
+	}
+}
+
 // LNES computes the Likely-Next-Event-Set: the set of DOM-level event types
 // that could possibly be triggered by the next user input given the current
 // visible DOM state. A Load is possible only when a visible node navigates;
@@ -337,11 +368,22 @@ func (t *Tree) VisibleTappable() []NodeID {
 // remains below the viewport, and a move listener is registered on a visible
 // node (typically the document root).
 func (t *Tree) LNES() []webevent.Type {
-	set := make(map[webevent.Type]bool)
-	for _, id := range t.VisibleNodes() {
-		n := t.Node(id)
+	return t.AppendLNES(nil)
+}
+
+// AppendLNES appends the Likely-Next-Event-Set to dst (in ascending type
+// order, the same as LNES) and returns the extended slice. Passing a buffer
+// with spare capacity makes the computation allocation-free; it is the
+// per-prediction fast path of the DOM analyzer.
+func (t *Tree) AppendLNES(dst []webevent.Type) []webevent.Type {
+	var set [webevent.NumTypes]bool
+	moveOK := t.Scrollable() && !t.AtBottom()
+	for _, n := range t.nodes[1:] {
+		if t.effectiveHidden(n) || !t.inViewport(n) {
+			continue
+		}
 		for _, l := range n.Listeners {
-			if l.IsMove() && (!t.Scrollable() || t.AtBottom()) {
+			if l.IsMove() && !moveOK {
 				continue
 			}
 			set[l] = true
@@ -350,12 +392,12 @@ func (t *Tree) LNES() []webevent.Type {
 			set[webevent.Load] = true
 		}
 	}
-	out := make([]webevent.Type, 0, len(set))
-	for typ := range set {
-		out = append(out, typ)
+	for typ := webevent.Type(0); int(typ) < webevent.NumTypes; typ++ {
+		if set[typ] {
+			dst = append(dst, typ)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return dst
 }
 
 // MutationKind describes what applying an event did to the DOM.

@@ -112,6 +112,15 @@ func BuildSemanticTree(t *Tree) *SemanticTree {
 	return st
 }
 
+// Rebind returns a semantic tree carrying the same (immutable) semantic
+// entries but evaluating dynamic queries (PostEventLNES) against t. The
+// entries derive only from attributes that never change after a page is
+// built (kind, TogglesMenu, NavigatesTo), so a cached master page's semantic
+// view can be shared with every clone of that page.
+func (s *SemanticTree) Rebind(t *Tree) *SemanticTree {
+	return &SemanticTree{dom: t, nodes: s.nodes}
+}
+
 // Node returns the semantic entry for a DOM node.
 func (s *SemanticTree) Node(id NodeID) SemanticNode { return s.nodes[id] }
 

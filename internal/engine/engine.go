@@ -280,6 +280,11 @@ func (ec *Context) addOutcome(e *webevent.Event, start, finish simtime.Time,
 // This is the single event loop behind every scheduler.
 func Run(p *acmp.Platform, app string, events []*webevent.Event, pol Policy) *Result {
 	res := &Result{Scheduler: pol.Name(), App: app}
+	// Every event produces at least one outcome; sizing the slice up front
+	// keeps the event loop free of append regrowth. (PFBSamples is sized
+	// analogously by the proactive adapter on first use — reactive sessions
+	// never sample the PFB and get no buffer.)
+	res.Outcomes = make([]Outcome, 0, len(events))
 	ec := &Context{platform: p, events: events, res: res}
 	for i, e := range events {
 		pol.Advance(ec, e.Trigger)

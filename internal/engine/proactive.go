@@ -30,13 +30,26 @@ type inflightTask struct {
 // proactiveAdapter drives a sched.ProactivePolicy (PES or the Oracle) on the
 // unified engine. It owns the runtime state of proactive scheduling: the
 // plan queue, the in-flight speculative execution, and the Pending Frame
-// Buffer.
+// Buffer. The plan queue is consumed through a head index and the in-flight
+// slot is an inline value so that the per-event loop recycles one backing
+// array and never allocates per speculative task.
 type proactiveAdapter struct {
 	policy      sched.ProactivePolicy
 	plan        []plannedTask
-	inflight    *inflightTask
+	planHead    int
+	inflight    inflightTask
+	hasInflight bool
 	pfb         control.PFB
 	frameEnergy map[*render.Frame]float64
+}
+
+// planLen returns the number of speculative tasks still queued.
+func (a *proactiveAdapter) planLen() int { return len(a.plan) - a.planHead }
+
+// resetPlan empties the queue, recycling the backing array.
+func (a *proactiveAdapter) resetPlan() {
+	a.plan = a.plan[:0]
+	a.planHead = 0
 }
 
 // RunProactive replays the events under a proactive policy (PES or Oracle).
@@ -62,7 +75,7 @@ func (a *proactiveAdapter) SolverStats() optimizer.SolverStats {
 // committed in-flight execution no longer counts: it belongs to an event
 // that has already arrived.
 func (a *proactiveAdapter) hasSpeculation() bool {
-	return a.pfb.Size() > 0 || (a.inflight != nil && !a.inflight.committed) || len(a.plan) > 0
+	return a.pfb.Size() > 0 || (a.hasInflight && !a.inflight.committed) || a.planLen() > 0
 }
 
 // headType returns the type of the next expected predicted event.
@@ -70,11 +83,11 @@ func (a *proactiveAdapter) headType() (webevent.Type, bool) {
 	if f, ok := a.pfb.Head(); ok {
 		return f.Type, true
 	}
-	if a.inflight != nil && !a.inflight.committed {
+	if a.hasInflight && !a.inflight.committed {
 		return a.inflight.task.task.Type, true
 	}
-	if len(a.plan) > 0 {
-		return a.plan[0].task.Type, true
+	if a.planLen() > 0 {
+		return a.plan[a.planHead].task.Type, true
 	}
 	return 0, false
 }
@@ -82,7 +95,7 @@ func (a *proactiveAdapter) headType() (webevent.Type, bool) {
 // busyUntil returns the instant the CPU becomes free, accounting for an
 // in-flight execution.
 func (a *proactiveAdapter) busyUntil(ec *Context) simtime.Time {
-	if a.inflight != nil && a.inflight.finish.After(ec.cpuFree) {
+	if a.hasInflight && a.inflight.finish.After(ec.cpuFree) {
 		return a.inflight.finish
 	}
 	return ec.cpuFree
@@ -106,12 +119,12 @@ func (a *proactiveAdapter) workFor(ec *Context, t plannedTask) acmp.Workload {
 // instant.
 func (a *proactiveAdapter) Advance(ec *Context, until simtime.Time) {
 	for {
-		if a.inflight != nil {
+		if a.hasInflight {
 			if a.inflight.finish.After(until) {
 				return
 			}
 			// Completes before `until`.
-			fl := a.inflight
+			fl := &a.inflight
 			fl.energy += ec.chargeBusy(fl.task.task.Config, fl.start, fl.finish)
 			a.policy.ObserveExecution(fl.task.task.Signature, fl.task.task.Config, fl.finish.Sub(fl.start))
 			if !fl.committed {
@@ -120,32 +133,26 @@ func (a *proactiveAdapter) Advance(ec *Context, until simtime.Time) {
 				a.pfb.Push(fl.task.task.Type, frame)
 			}
 			ec.cpuFree = fl.finish
-			a.inflight = nil
+			a.hasInflight = false
 			continue
 		}
-		if len(a.plan) > 0 && a.policy.SpeculationEnabled() {
+		if a.planLen() > 0 && a.policy.SpeculationEnabled() {
 			if !ec.cpuFree.Before(until) {
-				return
-			}
-			// A hold-until-trigger task (e.g. a predicted load whose
-			// network requests are suppressed) blocks the speculative
-			// pipeline until its real event arrives; the CPU idles.
-			if a.plan[0].task.HoldUntilTrigger {
-				ec.chargeIdle(until)
-				if until.After(ec.cpuFree) {
-					ec.cpuFree = until
-				}
 				return
 			}
 			// Speculative tasks execute as soon as the main thread is
 			// free, in plan order — the same as-soon-as-possible,
 			// back-to-back execution the optimizer's chain constraint
-			// (Eqn. 4) assumes.
-			t := a.plan[0]
-			a.plan = a.plan[1:]
+			// (Eqn. 4) assumes. Predicted loads whose network requests are
+			// suppressed (Sec. 5.3) never reach the queue: PES terminates
+			// the speculative sequence at a deep predicted load instead
+			// (see core.PES.Plan).
+			t := a.plan[a.planHead]
+			a.planHead++
 			start, swEnergy := ec.switchTo(t.task.Config, ec.cpuFree)
 			finish := start.Add(ec.platform.Latency(a.workFor(ec, t), t.task.Config))
-			a.inflight = &inflightTask{task: t, start: start, finish: finish, energy: swEnergy}
+			a.inflight = inflightTask{task: t, start: start, finish: finish, energy: swEnergy}
+			a.hasInflight = true
 			continue
 		}
 		// Nothing to run: idle until `until`.
@@ -172,7 +179,7 @@ func (a *proactiveAdapter) runNow(ec *Context, e *webevent.Event, cfg acmp.Confi
 // are returned to the caller (executed immediately), predicted tasks are
 // queued for speculative execution.
 func (a *proactiveAdapter) adoptPlan(tasks []sched.SpecTask, nextEventIdx int, nEvents int) (outstandingTasks []sched.SpecTask) {
-	a.plan = a.plan[:0]
+	a.resetPlan()
 	k := 0
 	for _, t := range tasks {
 		if t.Event != nil {
@@ -202,7 +209,7 @@ func (a *proactiveAdapter) squash(ec *Context, at simtime.Time) {
 		res.WastedEnergyMJ += a.frameEnergy[f]
 		delete(a.frameEnergy, f)
 	}
-	if a.inflight != nil && !a.inflight.committed {
+	if a.hasInflight && !a.inflight.committed {
 		// Abort the in-flight speculative execution immediately. An
 		// in-flight execution that has already been committed belongs to
 		// an event that actually happened and is left to finish.
@@ -214,10 +221,10 @@ func (a *proactiveAdapter) squash(ec *Context, at simtime.Time) {
 		res.WastedEnergyMJ += e + a.inflight.energy
 		res.MispredictWaste += elapsed
 		res.SquashedFrames++
-		a.inflight = nil
+		a.hasInflight = false
 		ec.cpuFree = at
 	}
-	a.plan = a.plan[:0]
+	a.resetPlan()
 }
 
 // Dispatch implements Policy: resolve the event against the outstanding
@@ -236,10 +243,10 @@ func (a *proactiveAdapter) Dispatch(ec *Context, e *webevent.Event, idx int) {
 			a.pfb.Commit()
 			ec.addOutcome(e, pf.Frame.Started, pf.Frame.Completed, pf.Frame.Config, a.frameEnergy[pf.Frame], true)
 			delete(a.frameEnergy, pf.Frame)
-		} else if a.inflight != nil && !a.inflight.committed {
+		} else if a.hasInflight && !a.inflight.committed {
 			// The matching speculative execution is still running; the
 			// frame commits when it completes.
-			fl := a.inflight
+			fl := &a.inflight
 			fl.committed = true
 			cfg := fl.task.task.Config
 			energy := acmp.EnergyMJ(ec.platform.Power(cfg), fl.finish.Sub(fl.start))
@@ -247,8 +254,8 @@ func (a *proactiveAdapter) Dispatch(ec *Context, e *webevent.Event, idx int) {
 		} else {
 			// Planned but not yet started: execute it now at the planned
 			// configuration.
-			t := a.plan[0]
-			a.plan = a.plan[1:]
+			t := a.plan[a.planHead]
+			a.planHead++
 			a.runNow(ec, e, t.task.Config)
 		}
 	case hasHead:
@@ -275,6 +282,12 @@ func (a *proactiveAdapter) AfterDispatch(ec *Context, e *webevent.Event, idx int
 		start := simtime.Max(e.Trigger, a.busyUntil(ec))
 		tasks := a.policy.Plan(start, nil)
 		a.adoptPlan(tasks, idx+1, len(ec.events))
+	}
+	if ec.res.PFBSamples == nil {
+		// Exactly one sample per event: size the buffer once, here rather
+		// than in the engine's generic entry point, so only policies that
+		// actually sample the PFB pay for (and retain) it.
+		ec.res.PFBSamples = make([]PFBSample, 0, len(ec.events))
 	}
 	ec.res.PFBSamples = append(ec.res.PFBSamples, PFBSample{Seq: e.Seq, Size: a.pfb.Size()})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/acmp"
+	"repro/internal/artifacts"
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -43,6 +44,10 @@ type Config struct {
 	// Parallel is the batch runner's worker-pool size; 0 selects the number
 	// of CPUs, 1 forces serial simulation.
 	Parallel int
+	// Artifacts optionally selects the shared artifact store; nil uses the
+	// process-wide artifacts.Default. Tests inject private stores to get
+	// isolated counters.
+	Artifacts *artifacts.Store
 }
 
 // DefaultConfig returns the paper-equivalent configuration.
@@ -88,25 +93,43 @@ type Setup struct {
 	// Runner executes simulation sessions concurrently and memoizes their
 	// results by (platform, app, trace seed, scheduler, predictor config).
 	Runner *batch.Runner
+
+	// Artifacts is the shared artifact store the setup's corpora and
+	// learner came from and its sessions draw runtime inputs from. Setups
+	// with equal (TrainTracesPerApp, Seed) share one trained learner and
+	// one trace corpus through it.
+	Artifacts *artifacts.Store
 }
 
 // NewSetup trains the predictor on the seen applications and generates the
 // evaluation corpus for all 18 applications. Evaluation traces always use
 // seeds disjoint from the training traces (new users, as in the paper).
+// Everything reusable — the training corpus, the trained model, the
+// evaluation traces — comes from the process-wide artifact store, so a
+// second identically-configured setup (another server, another benchmark
+// repetition) performs no training and no trace generation at all.
 func NewSetup(cfg Config) (*Setup, error) {
 	cfg = cfg.withDefaults()
-	train := trace.GenerateCorpus(webapp.SeenApps(), cfg.TrainTracesPerApp, cfg.Seed*1000, trace.PurposeTrain, trace.Options{})
-	learner := predictor.NewSequenceLearner()
-	if err := learner.Train(train, trainConfig(cfg.Seed)); err != nil {
+	store := cfg.Artifacts
+	if store == nil {
+		store = artifacts.Default
+	}
+	learner, train, err := store.Learner(artifacts.LearnerKey{
+		TracesPerApp: cfg.TrainTracesPerApp,
+		CorpusSeed:   cfg.Seed * 1000,
+		TrainSeed:    trainConfig(cfg.Seed).Seed,
+	})
+	if err != nil {
 		return nil, fmt.Errorf("experiments: training: %w", err)
 	}
-	eval := trace.GenerateCorpus(webapp.Registry(), cfg.EvalTracesPerApp, cfg.Seed*1000+500000, trace.PurposeEval, trace.Options{})
+	eval := store.Corpus(webapp.Registry(), cfg.EvalTracesPerApp, cfg.Seed*1000+500000, trace.PurposeEval, trace.Options{})
 	return &Setup{
-		Config:  cfg,
-		Learner: learner,
-		Train:   train,
-		Eval:    eval,
-		Runner:  batch.NewRunner(cfg.Parallel),
+		Config:    cfg,
+		Learner:   learner,
+		Train:     train,
+		Eval:      eval,
+		Runner:    batch.NewRunner(cfg.Parallel).AttachArtifacts(store),
+		Artifacts: store,
 	}, nil
 }
 
@@ -133,6 +156,7 @@ func (s *Setup) runCorpus(p *acmp.Platform, name string, predCfg predictor.Confi
 			Scheduler: name,
 			Learner:   s.Learner,
 			Predictor: predCfg,
+			Artifacts: s.Artifacts,
 		})
 		if err != nil {
 			return nil, err

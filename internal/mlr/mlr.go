@@ -77,13 +77,25 @@ func (m *Model) score(c int, x []float64) float64 {
 // Probabilities returns the per-class probabilities for the feature vector,
 // normalized to sum to 1 across classes.
 func (m *Model) Probabilities(x []float64) ([]float64, error) {
+	return m.ProbabilitiesInto(nil, x)
+}
+
+// ProbabilitiesInto is Probabilities with a caller-provided buffer: the
+// probabilities are written into dst when its capacity suffices (making the
+// evaluation allocation-free) and the result slice is returned either way.
+// This is the per-predicted-event fast path; each predictor instance owns
+// one buffer and reuses it across evaluations.
+func (m *Model) ProbabilitiesInto(dst, x []float64) ([]float64, error) {
 	if !m.Trained() {
 		return nil, ErrNotTrained
 	}
 	if len(x) != m.NumFeatures {
 		return nil, fmt.Errorf("mlr: feature vector has %d entries, model expects %d", len(x), m.NumFeatures)
 	}
-	probs := make([]float64, m.NumClasses)
+	if cap(dst) < m.NumClasses {
+		dst = make([]float64, m.NumClasses)
+	}
+	probs := dst[:m.NumClasses]
 	sum := 0.0
 	for c := range probs {
 		probs[c] = m.score(c, x)
@@ -105,9 +117,17 @@ func (m *Model) Probabilities(x []float64) ([]float64, error) {
 // Predict returns the most probable class and its (normalized) probability,
 // which the event sequence learner uses as the prediction confidence.
 func (m *Model) Predict(x []float64) (class int, confidence float64, err error) {
-	probs, err := m.Probabilities(x)
+	class, confidence, _, err = m.PredictBuf(nil, x)
+	return class, confidence, err
+}
+
+// PredictBuf is Predict with a caller-provided probability buffer (see
+// ProbabilitiesInto). It additionally returns the (possibly grown) buffer so
+// the caller can keep it for the next evaluation.
+func (m *Model) PredictBuf(buf, x []float64) (class int, confidence float64, probs []float64, err error) {
+	probs, err = m.ProbabilitiesInto(buf, x)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, buf, err
 	}
 	best := 0
 	for c, p := range probs {
@@ -115,19 +135,27 @@ func (m *Model) Predict(x []float64) (class int, confidence float64, err error) 
 			best = c
 		}
 	}
-	return best, probs[best], nil
+	return best, probs[best], probs, nil
 }
 
 // PredictRestricted returns the most probable class among the allowed set
 // (the Likely-Next-Event-Set); confidence is renormalized over the allowed
 // classes. When allowed is empty the full class set is used.
 func (m *Model) PredictRestricted(x []float64, allowed []int) (class int, confidence float64, err error) {
-	probs, err := m.Probabilities(x)
+	class, confidence, _, err = m.PredictRestrictedBuf(nil, x, allowed)
+	return class, confidence, err
+}
+
+// PredictRestrictedBuf is PredictRestricted with a caller-provided
+// probability buffer (see ProbabilitiesInto); the (possibly grown) buffer is
+// returned for reuse.
+func (m *Model) PredictRestrictedBuf(buf, x []float64, allowed []int) (class int, confidence float64, probs []float64, err error) {
+	probs, err = m.ProbabilitiesInto(buf, x)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, buf, err
 	}
 	if len(allowed) == 0 {
-		return m.Predict(x)
+		return m.bestOf(probs)
 	}
 	sum := 0.0
 	best := -1
@@ -141,12 +169,23 @@ func (m *Model) PredictRestricted(x []float64, allowed []int) (class int, confid
 		}
 	}
 	if best == -1 {
-		return m.Predict(x)
+		return m.bestOf(probs)
 	}
 	if sum <= 0 {
-		return best, 1 / float64(len(allowed)), nil
+		return best, 1 / float64(len(allowed)), probs, nil
 	}
-	return best, probs[best] / sum, nil
+	return best, probs[best] / sum, probs, nil
+}
+
+// bestOf returns the argmax over already-computed probabilities.
+func (m *Model) bestOf(probs []float64) (class int, confidence float64, out []float64, err error) {
+	best := 0
+	for c, p := range probs {
+		if p > probs[best] {
+			best = c
+		}
+	}
+	return best, probs[best], probs, nil
 }
 
 // TrainConfig controls SGD training.

@@ -7,8 +7,7 @@
 package optimizer
 
 import (
-	"fmt"
-	"strings"
+	"strconv"
 	"time"
 
 	"repro/internal/acmp"
@@ -43,6 +42,19 @@ type CostModel struct {
 	// any problem mentioning it; the optimizer's plan cache is valid only
 	// while the revision it was filled under is current.
 	rev int
+
+	// est memoizes the workload estimate per signature at the current
+	// revision. Solving one plan evaluates every signature against every
+	// platform configuration; without the memo each of those evaluations
+	// redoes the least-squares fit.
+	est map[webevent.Signature]estEntry
+}
+
+// estEntry is one memoized workload estimate.
+type estEntry struct {
+	rev      int
+	w        acmp.Workload
+	measured bool
 }
 
 // NewCostModel creates a cost model for the platform.
@@ -50,6 +62,7 @@ func NewCostModel(p *acmp.Platform) *CostModel {
 	return &CostModel{
 		platform: p,
 		obs:      make(map[webevent.Signature][]obsPoint),
+		est:      make(map[webevent.Signature]estEntry),
 		defaults: map[webevent.Interaction]acmp.Workload{
 			// Conservative (heavier-than-typical) priors so that unknown
 			// events are provisioned generously rather than missing QoS.
@@ -83,8 +96,19 @@ func (c *CostModel) Observations(sig webevent.Signature) int { return len(c.obs[
 
 // Estimate returns the estimated workload for the signature and whether the
 // estimate comes from measurements (true) or from the per-interaction
-// default (false).
+// default (false). Estimates are memoized per cost-model revision: the
+// underlying fit only changes when Observe records a new sample.
 func (c *CostModel) Estimate(sig webevent.Signature) (acmp.Workload, bool) {
+	if e, ok := c.est[sig]; ok && e.rev == c.rev {
+		return e.w, e.measured
+	}
+	w, measured := c.estimate(sig)
+	c.est[sig] = estEntry{rev: c.rev, w: w, measured: measured}
+	return w, measured
+}
+
+// estimate computes the estimate afresh (the uncached path of Estimate).
+func (c *CostModel) estimate(sig webevent.Signature) (acmp.Workload, bool) {
 	pts := c.obs[sig]
 	if len(pts) == 0 {
 		return c.defaults[sig.Type.Interaction()], false
@@ -262,6 +286,14 @@ type Optimizer struct {
 	// entries were computed under.
 	plans   map[string]cachedPlan
 	planRev int
+
+	// Reusable solve buffers: the plan-key bytes, the problem's item list,
+	// and one flat backing array for all items' choice lists. ilp.Solve does
+	// not retain the problem, and an Optimizer belongs to one scheduler
+	// instance (single goroutine), so recycling them across solves is safe.
+	keyBuf    []byte
+	itemsBuf  []ilp.Item
+	choiceBuf []ilp.Choice
 }
 
 // New creates an optimizer using the given cost model.
@@ -282,20 +314,29 @@ func (o *Optimizer) ResetPlanCache() {
 	clear(o.plans)
 }
 
-// planKey fingerprints a Schedule call. Two calls with equal keys under the
-// same cost-model revision build the identical ilp.Problem — the choice set
-// of a task is a pure function of (signature, cost model, platform), and
-// the chain constraints are a pure function of (start, deadlines) — so the
-// memoized assignment is exactly what ilp.Solve would return. The key spells
-// out the full (outstanding events + predicted suffix, deadlines) contents
-// rather than hashing them, so a collision cannot silently corrupt a plan.
-func planKey(start simtime.Time, tasks []*Task) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d", start)
+// appendPlanKey fingerprints a Schedule call into buf. Two calls with equal
+// keys under the same cost-model revision build the identical ilp.Problem —
+// the choice set of a task is a pure function of (signature, cost model,
+// platform), and the chain constraints are a pure function of (start,
+// deadlines) — so the memoized assignment is exactly what ilp.Solve would
+// return. The key spells out the full (outstanding events + predicted
+// suffix, deadlines) contents rather than hashing them, so a collision
+// cannot silently corrupt a plan. Appending into a reusable buffer keeps the
+// cache-hit fast path allocation-free (map lookup by string(buf) does not
+// copy).
+func appendPlanKey(buf []byte, start simtime.Time, tasks []*Task) []byte {
+	buf = strconv.AppendInt(buf, int64(start), 10)
 	for _, t := range tasks {
-		fmt.Fprintf(&b, "|%s/%d/%d@%d", t.Signature.App, t.Signature.Type, t.Signature.TargetKind, t.Deadline)
+		buf = append(buf, '|')
+		buf = append(buf, t.Signature.App...)
+		buf = append(buf, '/')
+		buf = strconv.AppendInt(buf, int64(t.Signature.Type), 10)
+		buf = append(buf, '/')
+		buf = strconv.AppendInt(buf, int64(t.Signature.TargetKind), 10)
+		buf = append(buf, '@')
+		buf = strconv.AppendInt(buf, int64(t.Deadline), 10)
 	}
-	return b.String()
+	return buf
 }
 
 // Schedule assigns a configuration to every task such that the total
@@ -316,24 +357,36 @@ func (o *Optimizer) Schedule(start simtime.Time, tasks []*Task) bool {
 		o.planRev = o.cost.rev
 	}
 	configs := o.platform.Configs()
-	key := planKey(start, tasks)
-	if plan, ok := o.plans[key]; ok {
+	o.keyBuf = appendPlanKey(o.keyBuf[:0], start, tasks)
+	if plan, ok := o.plans[string(o.keyBuf)]; ok {
 		o.stats.PlanCacheHits++
 		o.apply(tasks, plan.choice, configs)
 		return plan.feasible
 	}
 
-	prob := ilp.Problem{Start: start}
-	for _, t := range tasks {
-		item := ilp.Item{Deadline: t.Deadline.Add(-render.DisplayMargin)}
+	// Build the problem on the reusable buffers: one Item per task, all
+	// choice lists carved out of one flat backing array.
+	nc := len(configs)
+	if cap(o.itemsBuf) < len(tasks) {
+		o.itemsBuf = make([]ilp.Item, 0, 2*len(tasks))
+	}
+	if cap(o.choiceBuf) < len(tasks)*nc {
+		o.choiceBuf = make([]ilp.Choice, 2*len(tasks)*nc)
+	}
+	prob := ilp.Problem{Start: start, Items: o.itemsBuf[:0]}
+	for ti, t := range tasks {
+		choices := o.choiceBuf[ti*nc : ti*nc : (ti+1)*nc]
 		for _, cfg := range configs {
 			lat := o.cost.PredictLatency(t.Signature, cfg)
-			item.Choices = append(item.Choices, ilp.Choice{
+			choices = append(choices, ilp.Choice{
 				Latency: lat,
 				Energy:  acmp.EnergyMJ(o.platform.Power(cfg), lat),
 			})
 		}
-		prob.Items = append(prob.Items, item)
+		prob.Items = append(prob.Items, ilp.Item{
+			Deadline: t.Deadline.Add(-render.DisplayMargin),
+			Choices:  choices,
+		})
 	}
 	begun := time.Now()
 	sol := ilp.Solve(prob)
@@ -341,7 +394,7 @@ func (o *Optimizer) Schedule(start simtime.Time, tasks []*Task) bool {
 	o.stats.Solves++
 	o.stats.Nodes += int64(sol.Nodes)
 	if len(o.plans) < maxCachedPlans {
-		o.plans[key] = cachedPlan{choice: sol.Choice, feasible: sol.Feasible}
+		o.plans[string(o.keyBuf)] = cachedPlan{choice: sol.Choice, feasible: sol.Feasible}
 	}
 	o.apply(tasks, sol.Choice, configs)
 	return sol.Feasible

@@ -34,6 +34,10 @@ type Analysis struct {
 // expanded menu is almost always followed by a tap on one of its items.
 type Analyzer struct {
 	sess *webapp.Session
+	// lnesBuf is the reusable LNES buffer of the per-event fast path; the
+	// Analysis returned by Analyze aliases it and is valid until the next
+	// Analyze call (its consumer, the prediction step, uses it immediately).
+	lnesBuf []webevent.Type
 }
 
 // NewAnalyzer creates an analyzer bound to a DOM session.
@@ -44,7 +48,8 @@ func NewAnalyzer(sess *webapp.Session) *Analyzer { return &Analyzer{sess: sess} 
 // event did not expand a menu).
 func (a *Analyzer) Analyze(menuJustOpened dom.NodeID) Analysis {
 	tree := a.sess.Tree()
-	out := Analysis{LNES: tree.LNES()}
+	a.lnesBuf = tree.AppendLNES(a.lnesBuf[:0])
+	out := Analysis{LNES: a.lnesBuf}
 
 	// A pending navigation means the next event is the destination page's
 	// load: the application logic has already committed to it.
@@ -56,7 +61,7 @@ func (a *Analyzer) Analyze(menuJustOpened dom.NodeID) Analysis {
 			TargetKind: dom.Document,
 			Confidence: 0.96,
 		}
-		out.LNES = []webevent.Type{webevent.Load}
+		out.LNES = lnesLoadOnly
 		return out
 	}
 
@@ -81,13 +86,15 @@ func (a *Analyzer) Analyze(menuJustOpened dom.NodeID) Analysis {
 
 // firstVisibleMenuItem returns a visible tappable child of the menu.
 func (a *Analyzer) firstVisibleMenuItem(menu dom.NodeID) (dom.NodeID, bool) {
-	tree := a.sess.Tree()
-	for _, id := range tree.VisibleTappable() {
-		if tree.Node(id).Parent == menu {
-			return id, true
+	found := dom.None
+	a.sess.Tree().VisitVisibleTappable(func(n *dom.Node) bool {
+		if n.Parent == menu {
+			found = n.ID
+			return false
 		}
-	}
-	return dom.None, false
+		return true
+	})
+	return found, found != dom.None
 }
 
 // tapManifestation returns the tap event type registered on the node,
@@ -105,19 +112,19 @@ func (a *Analyzer) tapManifestation(n *dom.Node) webevent.Type {
 // on: the visible tappable node with the largest on-screen area (the most
 // likely touch target). It returns None when nothing is tappable.
 func (a *Analyzer) TypicalTapTarget() (dom.NodeID, dom.Kind) {
-	tree := a.sess.Tree()
 	best := dom.None
+	bestKind := dom.Document
 	bestArea := -1.0
-	for _, id := range tree.VisibleTappable() {
-		n := tree.Node(id)
+	a.sess.Tree().VisitVisibleTappable(func(n *dom.Node) bool {
 		if n.Area > bestArea {
-			best, bestArea = id, n.Area
+			best, bestKind, bestArea = n.ID, n.Kind, n.Area
 		}
-	}
+		return true
+	})
 	if best == dom.None {
 		return dom.None, dom.Document
 	}
-	return best, tree.Node(best).Kind
+	return best, bestKind
 }
 
 // NavigatesAfterTap reports whether tapping the given node commits the

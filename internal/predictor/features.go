@@ -36,39 +36,46 @@ type windowEntry struct {
 }
 
 // Window is a fixed-size buffer of the most recent events of the current
-// interaction session.
+// interaction session. It is a pure value type (no heap state), so the
+// virtual window of sequence prediction is a plain struct copy and observing
+// an event never allocates.
 type Window struct {
-	entries []windowEntry
+	entries [WindowSize]windowEntry
+	n       int
 }
 
 // Observe appends an event to the window, evicting the oldest entry beyond
 // WindowSize.
 func (w *Window) Observe(typ webevent.Type, viewportY float64, trigger simtime.Time) {
-	w.entries = append(w.entries, windowEntry{typ: typ, viewportY: viewportY, trigger: trigger})
-	if len(w.entries) > WindowSize {
-		w.entries = w.entries[len(w.entries)-WindowSize:]
+	e := windowEntry{typ: typ, viewportY: viewportY, trigger: trigger}
+	if w.n == WindowSize {
+		copy(w.entries[:], w.entries[1:])
+		w.entries[WindowSize-1] = e
+		return
 	}
+	w.entries[w.n] = e
+	w.n++
 }
 
 // Len returns the number of events currently in the window.
-func (w *Window) Len() int { return len(w.entries) }
+func (w *Window) Len() int { return w.n }
 
 // Reset clears the window (used when an interaction session ends).
-func (w *Window) Reset() { w.entries = w.entries[:0] }
+func (w *Window) Reset() { w.n = 0 }
 
 // Last returns the most recent entry and true, or false when empty.
 func (w *Window) Last() (typ webevent.Type, viewportY float64, ok bool) {
-	if len(w.entries) == 0 {
+	if w.n == 0 {
 		return 0, 0, false
 	}
-	e := w.entries[len(w.entries)-1]
+	e := w.entries[w.n-1]
 	return e.typ, e.viewportY, true
 }
 
 // navigations counts Load events in the window.
 func (w *Window) navigations() int {
 	n := 0
-	for _, e := range w.entries {
+	for _, e := range w.entries[:w.n] {
 		if e.typ == webevent.Load {
 			n++
 		}
@@ -79,7 +86,7 @@ func (w *Window) navigations() int {
 // scrolls counts move-interaction events in the window.
 func (w *Window) scrolls() int {
 	n := 0
-	for _, e := range w.entries {
+	for _, e := range w.entries[:w.n] {
 		if e.typ.IsMove() {
 			n++
 		}
@@ -91,7 +98,7 @@ func (w *Window) scrolls() int {
 // the current viewport centre and the viewport position of the most recent
 // tap in the window, or 1 when the window contains no tap.
 func (w *Window) distanceToPreviousClick(currentY float64) float64 {
-	for i := len(w.entries) - 1; i >= 0; i-- {
+	for i := w.n - 1; i >= 0; i-- {
 		if w.entries[i].typ.IsTap() {
 			d := currentY - w.entries[i].viewportY
 			if d < 0 {
@@ -109,12 +116,21 @@ func (w *Window) distanceToPreviousClick(currentY float64) float64 {
 // Features computes the Table 1 feature vector for the current DOM state and
 // event window. All features are normalized to [0, 1].
 func Features(tree *dom.Tree, w *Window) []float64 {
-	currentY := tree.ViewportCenterY()
-	return []float64{
-		tree.ClickableFraction(),
-		tree.LinkFraction(),
-		w.distanceToPreviousClick(currentY),
-		float64(w.navigations()) / WindowSize,
-		float64(w.scrolls()) / WindowSize,
-	}
+	var buf [NumFeatures]float64
+	FeaturesInto(&buf, tree, w, tree.ViewportCenterY())
+	out := make([]float64, NumFeatures)
+	copy(out, buf[:])
+	return out
+}
+
+// FeaturesInto fills dst with the Table 1 feature vector without allocating.
+// currentY is the viewport centre the interaction-dependent features are
+// evaluated against (the tree's actual centre, or a virtual position during
+// sequence prediction).
+func FeaturesInto(dst *[NumFeatures]float64, tree *dom.Tree, w *Window, currentY float64) {
+	dst[0] = tree.ClickableFraction()
+	dst[1] = tree.LinkFraction()
+	dst[2] = w.distanceToPreviousClick(currentY)
+	dst[3] = float64(w.navigations()) / WindowSize
+	dst[4] = float64(w.scrolls()) / WindowSize
 }

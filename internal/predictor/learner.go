@@ -79,18 +79,37 @@ func (l *SequenceLearner) Train(corpus trace.Corpus, cfg mlr.TrainConfig) error 
 	return l.model.Fit(samples, cfg)
 }
 
-// Predict returns the most likely next event type and its confidence, with
-// the candidate set optionally restricted to the allowed types (the LNES).
-func (l *SequenceLearner) Predict(features []float64, allowed []webevent.Type) (webevent.Type, float64, error) {
-	var allowedIdx []int
+// predictScratch holds the reusable buffers of allocation-free learner
+// prediction. Each Predictor owns one (the trained learner itself is shared
+// read-only across concurrent sessions, so the scratch state cannot live on
+// it).
+type predictScratch struct {
+	probs   []float64
+	allowed []int
+}
+
+// predictWith is the allocation-free prediction path: the class-restriction
+// indices and the probability vector live in the caller's scratch buffers.
+func (l *SequenceLearner) predictWith(s *predictScratch, features []float64, allowed []webevent.Type) (webevent.Type, float64, error) {
+	s.allowed = s.allowed[:0]
 	for _, t := range allowed {
-		allowedIdx = append(allowedIdx, int(t))
+		s.allowed = append(s.allowed, int(t))
 	}
-	class, conf, err := l.model.PredictRestricted(features, allowedIdx)
+	class, conf, probs, err := l.model.PredictRestrictedBuf(s.probs, features, s.allowed)
+	if probs != nil {
+		s.probs = probs
+	}
 	if err != nil {
 		return 0, 0, err
 	}
 	return webevent.Type(class), conf, nil
+}
+
+// Predict returns the most likely next event type and its confidence, with
+// the candidate set optionally restricted to the allowed types (the LNES).
+func (l *SequenceLearner) Predict(features []float64, allowed []webevent.Type) (webevent.Type, float64, error) {
+	var s predictScratch
+	return l.predictWith(&s, features, allowed)
 }
 
 // Predicted is one entry of a predicted event sequence.

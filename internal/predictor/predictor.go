@@ -56,7 +56,21 @@ type Predictor struct {
 
 	// evaluations counts learner evaluations, for the overhead analysis.
 	evaluations int
+
+	// Reusable buffers of the per-event prediction fast path. A prediction
+	// step must not allocate (the paper budgets ~2 µs per evaluation and a
+	// campaign server replays millions of events), so the feature vector, the
+	// learner's probability/restriction scratch, and the sequence buffer all
+	// live on the predictor and are recycled across steps. They make a
+	// Predictor single-goroutine state, which it already was.
+	featBuf  [NumFeatures]float64
+	scratch  predictScratch
+	predsBuf []Predicted
 }
+
+// lnesLoadOnly is the constant LNES of a committed navigation: the only
+// possible next event is the destination page's load.
+var lnesLoadOnly = []webevent.Type{webevent.Load}
 
 // New creates a predictor for one session of the given application. The
 // model is shared (trained offline across applications); the session state
@@ -140,7 +154,7 @@ func (p *Predictor) predictStep(win *Window, menuOpened dom.NodeID, pendingNav b
 			// Re-derive hints for the virtual state.
 			if pendingNav {
 				analysis = Analysis{
-					LNES: []webevent.Type{webevent.Load},
+					LNES: lnesLoadOnly,
 					Hint: Hint{Valid: true, Type: webevent.Load, Target: dom.None,
 						TargetKind: dom.Document, Confidence: 0.96},
 				}
@@ -167,18 +181,13 @@ func (p *Predictor) predictStep(win *Window, menuOpened dom.NodeID, pendingNav b
 }
 
 // learnerStep runs the statistical learner, optionally restricted to the
-// LNES, and attaches a hypothetical target.
+// LNES, and attaches a hypothetical target. It is allocation-free: the
+// feature vector and the learner scratch are the predictor's reusable
+// buffers.
 func (p *Predictor) learnerStep(win *Window, viewportY float64, allowed []webevent.Type) (Predicted, bool) {
-	tree := p.sess.Tree()
-	feats := []float64{
-		tree.ClickableFraction(),
-		tree.LinkFraction(),
-		win.distanceToPreviousClick(viewportY),
-		float64(win.navigations()) / WindowSize,
-		float64(win.scrolls()) / WindowSize,
-	}
+	FeaturesInto(&p.featBuf, p.sess.Tree(), win, viewportY)
 	p.evaluations++
-	typ, conf, err := p.learner.Predict(feats, allowed)
+	typ, conf, err := p.learner.predictWith(&p.scratch, p.featBuf[:], allowed)
 	if err != nil {
 		return Predicted{}, false
 	}
@@ -199,9 +208,11 @@ func (p *Predictor) learnerStep(win *Window, viewportY float64, allowed []webeve
 // cumulative confidence falls below the configured threshold or the degree
 // cap is reached. It may return an empty slice when even the first
 // prediction is below the threshold (in which case PES behaves reactively).
+// The returned slice is a reusable buffer owned by the predictor; it is
+// valid until the next PredictSequence call.
 func (p *Predictor) PredictSequence() []Predicted {
-	var preds []Predicted
-	vwin := Window{entries: append([]windowEntry(nil), p.win.entries...)}
+	preds := p.predsBuf[:0]
+	vwin := p.win // value copy: the virtual window advanced by predictions
 	menuOpened := p.menuOpened
 	pendingNav := p.sess.PendingNavigation() != ""
 	viewportY := p.sess.Tree().ViewportCenterY()
@@ -241,6 +252,7 @@ func (p *Predictor) PredictSequence() []Predicted {
 			menuOpened = dom.None
 		}
 	}
+	p.predsBuf = preds
 	return preds
 }
 

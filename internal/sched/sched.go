@@ -50,11 +50,6 @@ type SpecTask struct {
 	EstimatedLatency simtime.Duration
 	// ExpectedTrigger is the (predicted) trigger time.
 	ExpectedTrigger simtime.Time
-	// HoldUntilTrigger marks tasks that participate in the coordinated
-	// schedule but must not begin executing before their real event arrives
-	// (e.g. a predicted page load whose network requests are suppressed
-	// until the navigation is confirmed, Sec. 5.3).
-	HoldUntilTrigger bool
 }
 
 // ProactivePolicy is the contract for proactive schedulers (PES and the

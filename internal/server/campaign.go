@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/acmp"
 	"repro/internal/batch"
@@ -81,13 +82,29 @@ type Plan struct {
 	Meta     []SessionMeta
 }
 
+// Shared platform instances. One instance per hardware model — instead of a
+// fresh model per campaign — keeps the artifact store's fingerprint memo
+// (keyed by platform instance) effective across campaigns; the lazy config
+// ladder is built eagerly so sharing is race-free.
+var (
+	platformsOnce sync.Once
+	exynosShared  *acmp.Platform
+	tx2Shared     *acmp.Platform
+)
+
 // platformByName resolves a campaign platform name to its hardware model.
 func platformByName(name string) (*acmp.Platform, error) {
+	platformsOnce.Do(func() {
+		exynosShared = acmp.Exynos5410()
+		exynosShared.Configs()
+		tx2Shared = acmp.TX2Parker()
+		tx2Shared.Configs()
+	})
 	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "", "exynos5410", "exynos", "odroid":
-		return acmp.Exynos5410(), nil
+		return exynosShared, nil
 	case "tx2", "tx2parker", "parker":
-		return acmp.TX2Parker(), nil
+		return tx2Shared, nil
 	}
 	return nil, fmt.Errorf("unknown platform %q (want exynos5410 or tx2)", name)
 }
@@ -172,13 +189,17 @@ func (c Campaign) Expand(setup *experiments.Setup) (*Plan, error) {
 
 	plan := &Plan{Platform: platform.Name}
 	add := func(app *webapp.Spec, seed int64, sched string, cfg predictor.Config, label string) error {
-		tr := trace.Generate(app, seed, trace.Options{})
+		// The artifact store generates each (app, seed) trace exactly once
+		// per process, no matter how many schedulers, sweep points, or
+		// overlapping campaigns replay it.
+		tr := setup.Artifacts.Trace(app, seed, trace.PurposeEval, trace.Options{})
 		sess, err := sessions.New(sessions.Spec{
 			Platform:  platform,
 			Trace:     tr,
 			Scheduler: sched,
 			Learner:   setup.Learner,
 			Predictor: cfg,
+			Artifacts: setup.Artifacts,
 		})
 		if err != nil {
 			return err

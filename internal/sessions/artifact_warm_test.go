@@ -1,0 +1,134 @@
+package sessions
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/acmp"
+	"repro/internal/artifacts"
+	"repro/internal/engine"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/webapp"
+)
+
+// canonical serializes a result with its only non-deterministic field (the
+// solver's host wall time) zeroed.
+func canonical(t *testing.T, res *engine.Result) []byte {
+	t.Helper()
+	clone := *res
+	clone.Solver.WallNS = 0
+	raw, err := json.Marshal(&clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestArtifactWarmEqualsColdPath is the byte-identity guarantee of the
+// shared-artifact layer: a session built from a pre-warmed store (shared
+// trace instance, shared runtime events, cached DOM pages) must produce a
+// Result byte-identical to the cold path (fresh store, freshly generated
+// trace, page cache bypassed), for every scheduler.
+func TestArtifactWarmEqualsColdPath(t *testing.T) {
+	learner, _, err := predictor.TrainOnSeenApps(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform := acmp.Exynos5410()
+	spec, err := webapp.ByName("cnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 11
+
+	// Warm: one shared store, pre-warmed by building and running every
+	// scheduler once before the recorded runs.
+	warmStore := artifacts.NewStore()
+	warmResults := make(map[string][]byte)
+	warmRun := func(record bool) {
+		for _, name := range Names() {
+			tr := warmStore.Trace(spec, seed, trace.PurposeEval, trace.Options{})
+			sess, err := New(Spec{
+				Platform:  platform,
+				Trace:     tr,
+				Scheduler: name,
+				Learner:   learner,
+				Predictor: predictor.DefaultConfig(),
+				Artifacts: warmStore,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sess.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if record {
+				warmResults[name] = canonical(t, res)
+			}
+		}
+	}
+	warmRun(false) // warm the store
+	warmRun(true)  // recorded, fully artifact-warm runs
+
+	// Cold: fresh single-use store per session, fresh trace generation,
+	// page-tree cache bypassed — the pre-artifact-cache setup path.
+	was := webapp.SetPageCache(false)
+	defer webapp.SetPageCache(was)
+	for _, name := range Names() {
+		tr := trace.Generate(spec, seed, trace.Options{})
+		sess, err := New(Spec{
+			Platform:  platform,
+			Trace:     tr,
+			Scheduler: name,
+			Learner:   learner,
+			Predictor: predictor.DefaultConfig(),
+			Artifacts: artifacts.NewStore(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(canonical(t, res), warmResults[name]) {
+			t.Errorf("%s: artifact-warm result differs from cold-path result", name)
+		}
+	}
+}
+
+// TestArtifactWarmSharesMemoKey proves warm and cold construction agree on
+// the batch memo key (same fingerprint for identical content), so results
+// cached by one path serve the other.
+func TestArtifactWarmSharesMemoKey(t *testing.T) {
+	platform := acmp.Exynos5410()
+	spec, err := webapp.ByName("ebay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := artifacts.NewStore()
+	warm, err := New(Spec{
+		Platform:  platform,
+		Trace:     store.Trace(spec, 3, trace.PurposeEval, trace.Options{}),
+		Scheduler: EBS,
+		Artifacts: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := New(Spec{
+		Platform:  platform,
+		Trace:     trace.Generate(spec, 3, trace.Options{}),
+		Scheduler: EBS,
+		Artifacts: artifacts.NewStore(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Key != cold.Key {
+		t.Errorf("memo keys differ: warm %+v, cold %+v", warm.Key, cold.Key)
+	}
+}

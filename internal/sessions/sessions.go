@@ -6,11 +6,11 @@ package sessions
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strings"
 	"sync"
 
 	"repro/internal/acmp"
+	"repro/internal/artifacts"
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -57,6 +57,11 @@ type Spec struct {
 	// Predictor is the PES predictor configuration; it participates in the
 	// memo key so that sweeps over it cache correctly.
 	Predictor predictor.Config
+	// Artifacts is the shared artifact store the session draws its runtime
+	// events and fingerprint from; nil selects artifacts.Default. Sessions
+	// of the same trace share one parsed event list through it, no matter
+	// which scheduler replays them.
+	Artifacts *artifacts.Store
 }
 
 // learnerIDs assigns each trained learner a stable per-process identifier
@@ -85,32 +90,21 @@ func predictorKey(cfg predictor.Config) string {
 	return fmt.Sprintf("ct=%g,deg=%d,dom=%t", cfg.ConfidenceThreshold, cfg.MaxDegree, cfg.UseDOMAnalysis)
 }
 
-// fingerprint hashes the platform parameters and the full trace content.
-// (Platform.Name, App, Seed) alone do not pin the simulation inputs: a
-// caller may tweak an exported platform field without renaming it, or load
-// or edit a trace whose events differ from the generated ones. Only the
-// exported, pointer-free fields are hashed (fmt prints them
-// deterministically); the Platform's unexported lazily-built config cache
-// must stay out of the hash.
-func fingerprint(p *acmp.Platform, tr *trace.Trace) string {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%+v|%+v|%d|%d|%g|%d|%d|",
-		p.Name, p.Little, p.Big, p.DVFSLatency, p.MigrationLatency, p.IdlePowerMW, tr.DOMSeed, len(tr.Events))
-	for i := range tr.Events {
-		fmt.Fprintf(h, "%+v;", tr.Events[i])
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
-}
-
 // New builds the self-contained batch session for a spec. The returned
 // session constructs its own scheduler instance on each (cache-miss) run,
-// so it can execute on any worker concurrently.
+// so it can execute on any worker concurrently. Runtime events and the memo
+// fingerprint come from the spec's artifact store: every scheduler replaying
+// the same trace shares one parsed event list and one content hash.
 func New(s Spec) (batch.Session, error) {
 	name, err := Canonical(s.Scheduler)
 	if err != nil {
 		return batch.Session{}, err
 	}
 	p, tr := s.Platform, s.Trace
+	store := s.Artifacts
+	if store == nil {
+		store = artifacts.Default
+	}
 	// Populate the platform's lazy config cache now, from this goroutine:
 	// the run closure may execute on any batch worker concurrently with
 	// other sessions sharing the platform.
@@ -120,13 +114,13 @@ func New(s Spec) (batch.Session, error) {
 		App:       tr.App,
 		TraceSeed: tr.Seed,
 		Scheduler: name,
-		Variant:   fingerprint(p, tr),
+		Variant:   store.Fingerprint(p, tr),
 	}
 	var run func() (*engine.Result, error)
 	switch name {
 	case Interactive, Ondemand, EBS:
 		run = func() (*engine.Result, error) {
-			evs, err := tr.Runtime()
+			evs, err := store.Runtime(tr)
 			if err != nil {
 				return nil, err
 			}
@@ -143,7 +137,7 @@ func New(s Spec) (batch.Session, error) {
 		}
 	case Oracle:
 		run = func() (*engine.Result, error) {
-			evs, err := tr.Runtime()
+			evs, err := store.Runtime(tr)
 			if err != nil {
 				return nil, err
 			}
@@ -164,7 +158,7 @@ func New(s Spec) (batch.Session, error) {
 		// cache slot (the memo cache lives in-process, so identity suffices).
 		key.Variant += fmt.Sprintf(",learner=%d", learnerID(learner))
 		run = func() (*engine.Result, error) {
-			evs, err := tr.Runtime()
+			evs, err := store.Runtime(tr)
 			if err != nil {
 				return nil, err
 			}

@@ -409,6 +409,13 @@ func (g *generator) visibleOfKind(tree *dom.Tree, kind dom.Kind) dom.NodeID {
 // Corpus is a set of traces with helpers for experiment plumbing.
 type Corpus []*Trace
 
+// CorpusSeed derives the trace seed of one (application index, user) slot of
+// a corpus from its base seed. It is exported so that the shared artifact
+// cache can enumerate a corpus's traces without regenerating them.
+func CorpusSeed(baseSeed int64, appIndex, user int) int64 {
+	return baseSeed + int64(appIndex)*1000 + int64(user)*17 + 1
+}
+
 // GenerateCorpus builds tracesPerApp traces for every application in apps.
 // Seeds are derived from baseSeed so that train and eval corpora, and
 // different "users", never share a random stream.
@@ -416,8 +423,7 @@ func GenerateCorpus(apps []*webapp.Spec, tracesPerApp int, baseSeed int64, purpo
 	var out Corpus
 	for ai, spec := range apps {
 		for u := 0; u < tracesPerApp; u++ {
-			seed := baseSeed + int64(ai)*1000 + int64(u)*17 + 1
-			tr := Generate(spec, seed, opts)
+			tr := Generate(spec, CorpusSeed(baseSeed, ai, u), opts)
 			tr.Purpose = purpose
 			out = append(out, tr)
 		}

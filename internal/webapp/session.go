@@ -1,9 +1,77 @@
 package webapp
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/dom"
 	"repro/internal/webevent"
 )
+
+// pageKey identifies one deterministically built page tree.
+type pageKey struct {
+	app  string
+	page string
+	seed int64
+}
+
+// pageCache memoizes built page trees. BuildPage is deterministic in
+// (application, page, seed), and a session mutates only node visibility and
+// the viewport, so every consumer — the trace generator, the predictor's DOM
+// replica, the accuracy evaluation — can start from a cloned master instead
+// of rebuilding the page. The cache is process-wide and immutable: masters
+// are never handed out directly, only clones.
+var (
+	pageCache       sync.Map // pageKey -> *dom.Tree (immutable master)
+	pageCacheOff    atomic.Bool
+	pageCacheBuilds atomic.Int64
+	pageCacheHits   atomic.Int64
+)
+
+// SetPageCache enables or disables the shared page-tree cache and reports
+// the previous setting. It exists for cold-path benchmarking (cmd/pes-bench)
+// and must not be toggled while sessions are being built concurrently.
+func SetPageCache(enabled bool) (was bool) {
+	return !pageCacheOff.Swap(!enabled)
+}
+
+// PageCacheStats returns how many page trees were built and how many session
+// page loads were served by cloning a cached master.
+func PageCacheStats() (builds, hits int64) {
+	return pageCacheBuilds.Load(), pageCacheHits.Load()
+}
+
+// builtPageEntry pairs a master page tree with its semantic view.
+type builtPageEntry struct {
+	tree *dom.Tree
+	sem  *dom.SemanticTree
+}
+
+// builtPage returns a mutable tree for the page plus its semantic view, from
+// the cache when enabled.
+func builtPage(spec *Spec, page string, seed int64) (*dom.Tree, *dom.SemanticTree) {
+	if pageCacheOff.Load() {
+		t := spec.BuildPage(page, seed)
+		return t, dom.BuildSemanticTree(t)
+	}
+	k := pageKey{app: spec.Name, page: page, seed: seed}
+	if v, ok := pageCache.Load(k); ok {
+		pageCacheHits.Add(1)
+		e := v.(builtPageEntry)
+		t := e.tree.Clone()
+		return t, e.sem.Rebind(t)
+	}
+	pageCacheBuilds.Add(1)
+	t := spec.BuildPage(page, seed)
+	sem := dom.BuildSemanticTree(t)
+	// Store an immutable snapshot; the freshly built tree itself is returned
+	// to the caller for mutation. A concurrent racer may have stored first —
+	// both snapshots are identical, so either winning is fine. The semantic
+	// entries are immutable and shared; only its tree binding is per-session.
+	master := t.Clone()
+	pageCache.LoadOrStore(k, builtPageEntry{tree: master, sem: sem.Rebind(master)})
+	return t, sem
+}
 
 // Session tracks the DOM state of one user's interaction with an
 // application: the current page's DOM tree (and its semantic view), the
@@ -33,8 +101,7 @@ func NewSession(spec *Spec, domSeed int64) *Session {
 }
 
 func (s *Session) loadPage(page string) {
-	s.tree = s.Spec.BuildPage(page, s.DOMSeed)
-	s.semantic = dom.BuildSemanticTree(s.tree)
+	s.tree, s.semantic = builtPage(s.Spec, page, s.DOMSeed)
 	s.pageVisits++
 }
 

@@ -113,3 +113,48 @@ func TestSessionDeterministicReplay(t *testing.T) {
 		t.Error("identical sessions must expose identical features")
 	}
 }
+
+func TestPageCacheClonesAndToggle(t *testing.T) {
+	spec := SeenApps()[0]
+	builds0, _ := PageCacheStats()
+
+	// Two sessions on the same (app, seed): the second must clone, not build.
+	const seed = 987654
+	a := NewSession(spec, seed)
+	buildsAfterFirst, _ := PageCacheStats()
+	b := NewSession(spec, seed)
+	buildsAfterSecond, hits := PageCacheStats()
+	if buildsAfterSecond != buildsAfterFirst {
+		t.Errorf("second session rebuilt the page: builds %d -> %d", buildsAfterFirst, buildsAfterSecond)
+	}
+	if hits == 0 {
+		t.Error("second session should have hit the page cache")
+	}
+	if buildsAfterFirst == builds0 {
+		t.Error("first session should have built the page")
+	}
+
+	// The clone is independent: scrolling one session must not move the other.
+	a.Apply(spec.Behavior.MoveManifestation, 0)
+	if a.Tree().ViewportTop == b.Tree().ViewportTop {
+		t.Error("sessions share a mutable tree")
+	}
+	// And the shared semantic view still binds to each session's own tree.
+	if a.Semantic().Len() != b.Semantic().Len() {
+		t.Error("semantic views disagree")
+	}
+
+	// With the cache disabled, sessions build fresh pages again.
+	was := SetPageCache(false)
+	defer SetPageCache(was)
+	if !was {
+		t.Error("page cache should have been enabled by default")
+	}
+	c := NewSession(spec, seed)
+	if buildsNow, _ := PageCacheStats(); buildsNow != buildsAfterSecond {
+		t.Error("cache-off builds must not be counted as cache builds")
+	}
+	if c.Tree().Len() != b.Tree().Len() {
+		t.Error("cache-off session built a different page")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"net/http"
 
 	"repro/internal/acmp"
+	"repro/internal/artifacts"
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -194,6 +195,28 @@ func NewSession(s SessionSpec) (BatchSession, error) { return sessions.New(s) }
 // NewBatchRunner creates a batch runner with the given worker-pool size;
 // workers <= 0 selects the number of CPUs.
 func NewBatchRunner(workers int) *BatchRunner { return batch.NewRunner(workers) }
+
+// Shared session artifacts.
+type (
+	// ArtifactStore is the shared session-artifact cache: generated traces,
+	// parsed runtime events, memo fingerprints, and offline-trained
+	// learners, each built exactly once per process and shared by every
+	// consumer. Sessions built with NewSession draw from the process-wide
+	// store unless their spec names another one.
+	ArtifactStore = artifacts.Store
+	// ArtifactStats snapshots an ArtifactStore's build/hit counters (plus
+	// the process-wide DOM page-tree cache); it appears in BatchStats when
+	// a store is attached to the runner, and in the pes-serve /healthz and
+	// campaign-results bodies.
+	ArtifactStats = artifacts.Stats
+)
+
+// SharedArtifacts returns the process-wide artifact store.
+func SharedArtifacts() *ArtifactStore { return artifacts.Default }
+
+// NewArtifactStore creates an empty, private artifact store (for isolation
+// in tests and cold-path benchmarks; most callers want SharedArtifacts).
+func NewArtifactStore() *ArtifactStore { return artifacts.NewStore() }
 
 // RunBatch simulates many sessions concurrently on a fresh runner and
 // returns the results index-aligned with the input. Sessions with equal keys
