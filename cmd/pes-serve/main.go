@@ -9,7 +9,18 @@
 //	curl -s -X POST localhost:8080/v1/campaigns -d '{"apps":["cnn"],"schedulers":["EBS","PES"]}'
 //	curl -s localhost:8080/v1/campaigns/c0001
 //	curl -s localhost:8080/v1/campaigns/c0001/results
+//	curl -s 'localhost:8080/v1/campaigns/c0001/results?scheduler=PES&format=ndjson'
 //	curl -s localhost:8080/v1/figures/fig11
+//
+// The same binary scales out to a cluster: workers serve the shard API, a
+// coordinator shards campaigns across them by consistent hashing on the
+// session memo key and merges the results byte-identically to in-process
+// execution. Every process must share the harness flags (-train, -traces,
+// -seed) so the workers' trained predictors match the coordinator's.
+//
+//	pes-serve -worker -addr :9001 &
+//	pes-serve -worker -addr :9002 &
+//	pes-serve -addr :8080 -workers localhost:9001,localhost:9002
 package main
 
 import (
@@ -22,9 +33,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/server"
 )
@@ -37,9 +50,11 @@ func main() {
 
 // serveConfig is the validated flag state of one invocation.
 type serveConfig struct {
-	addr string
-	jobs int
-	exp  experiments.Config
+	addr    string
+	jobs    int
+	worker  bool
+	workers []string
+	exp     experiments.Config
 }
 
 // parseArgs parses and validates the command line; flag usage and parse
@@ -53,6 +68,9 @@ func parseArgs(args []string, stderr io.Writer) (serveConfig, error) {
 	seed := fs.Int64("seed", 1, "harness seed")
 	parallel := fs.Int("parallel", 0, "simulation worker-pool size (0 = number of CPUs)")
 	jobs := fs.Int("jobs", 2, "campaigns executed concurrently")
+	cacheMax := fs.Int("cache-max-entries", 0, "LRU bound on the session memo cache and artifact store (0 = unbounded)")
+	worker := fs.Bool("worker", false, "run as a cluster worker (serve the shard API instead of the campaign API)")
+	workers := fs.String("workers", "", "comma-separated cluster worker addresses (host:port) to shard campaigns across (empty = in-process execution)")
 	if err := fs.Parse(args); err != nil {
 		return serveConfig{}, err
 	}
@@ -68,12 +86,29 @@ func parseArgs(args []string, stderr io.Writer) (serveConfig, error) {
 	if *jobs < 1 {
 		return serveConfig{}, fmt.Errorf("-jobs must be at least 1")
 	}
+	if *cacheMax < 0 {
+		return serveConfig{}, fmt.Errorf("-cache-max-entries must not be negative")
+	}
+	if *worker && *workers != "" {
+		return serveConfig{}, fmt.Errorf("-worker and -workers are mutually exclusive (a process is either a worker or a coordinator)")
+	}
+	var workerList []string
+	if *workers != "" {
+		for _, w := range strings.Split(*workers, ",") {
+			w = strings.TrimSpace(w)
+			if w == "" {
+				return serveConfig{}, fmt.Errorf("-workers contains an empty address")
+			}
+			workerList = append(workerList, w)
+		}
+	}
 	cfg := experiments.DefaultConfig()
 	cfg.EvalTracesPerApp = *traces
 	cfg.TrainTracesPerApp = *train
 	cfg.Seed = *seed
 	cfg.Parallel = *parallel
-	return serveConfig{addr: *addr, jobs: *jobs, exp: cfg}, nil
+	cfg.CacheMaxEntries = *cacheMax
+	return serveConfig{addr: *addr, jobs: *jobs, worker: *worker, workers: workerList, exp: cfg}, nil
 }
 
 // run is the testable body of the command, factored like pes-sim and
@@ -85,36 +120,81 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if cfg.worker {
+		return serveWorker(cfg, stdout)
+	}
 	return serve(cfg, stdout)
 }
 
-// serve trains the harness, listens on cfg.addr, and blocks until SIGINT or
-// SIGTERM triggers a graceful shutdown.
-func serve(cfg serveConfig, stdout io.Writer) error {
-	fmt.Fprintf(stdout, "pes-serve: training the predictor (%d traces/app)...\n", cfg.exp.TrainTracesPerApp)
-	svc, err := server.New(server.Config{Experiments: cfg.exp, JobWorkers: cfg.jobs})
-	if err != nil {
-		return err
-	}
-
-	httpSrv := &http.Server{Addr: cfg.addr, Handler: svc.Handler()}
+// listenUntilSignal serves handler on addr and blocks until SIGINT or
+// SIGTERM triggers a graceful shutdown (the shared tail of both roles).
+func listenUntilSignal(addr string, handler http.Handler, stdout io.Writer, shutdownMsg string) error {
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		fmt.Fprintln(stdout, "pes-serve: shutting down (queued campaigns are canceled, running ones finish)")
+		fmt.Fprintln(stdout, shutdownMsg)
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(ctx)
 	}()
-
-	fmt.Fprintf(stdout, "pes-serve: listening on %s (%d simulation workers, %d campaign workers)\n",
-		cfg.addr, svc.Setup().Runner.Workers(), cfg.jobs)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		svc.Close()
 		return err
 	}
+	return nil
+}
+
+// serveWorker trains the worker harness and serves the cluster shard API on
+// cfg.addr until a signal stops it.
+func serveWorker(cfg serveConfig, stdout io.Writer) error {
+	fmt.Fprintf(stdout, "pes-serve: training the predictor (%d traces/app)...\n", cfg.exp.TrainTracesPerApp)
+	w, err := cluster.NewWorker(cfg.exp)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "pes-serve: worker listening on %s (%d simulation workers)\n",
+		cfg.addr, w.Setup().Runner.Workers())
+	if err := listenUntilSignal(cfg.addr, w.Handler(), stdout, "pes-serve: worker shutting down"); err != nil {
+		return err
+	}
+	st := w.Stats()
+	fmt.Fprintf(stdout, "pes-serve: worker served %d sessions (%d simulated, %d from cache, %d evicted)\n",
+		st.Sessions, st.UniqueRuns, st.CacheHits, st.CacheEvictions)
+	return nil
+}
+
+// serve trains the harness, listens on cfg.addr, and blocks until SIGINT or
+// SIGTERM triggers a graceful shutdown. With cfg.workers set, campaigns are
+// sharded across the cluster; otherwise they execute in-process.
+func serve(cfg serveConfig, stdout io.Writer) error {
+	fmt.Fprintf(stdout, "pes-serve: training the predictor (%d traces/app)...\n", cfg.exp.TrainTracesPerApp)
+	srvCfg := server.Config{Experiments: cfg.exp, JobWorkers: cfg.jobs}
+	if len(cfg.workers) > 0 {
+		coord, err := cluster.New(cluster.Config{Workers: cfg.workers})
+		if err != nil {
+			return err
+		}
+		srvCfg.Cluster = coord
+	}
+	svc, err := server.New(srvCfg)
+	if err != nil {
+		return err
+	}
+
+	if len(cfg.workers) > 0 {
+		fmt.Fprintf(stdout, "pes-serve: listening on %s (%d cluster workers: %s; %d campaign workers)\n",
+			cfg.addr, len(cfg.workers), strings.Join(cfg.workers, ", "), cfg.jobs)
+	} else {
+		fmt.Fprintf(stdout, "pes-serve: listening on %s (%d simulation workers, %d campaign workers)\n",
+			cfg.addr, svc.Setup().Runner.Workers(), cfg.jobs)
+	}
+	err = listenUntilSignal(cfg.addr, svc.Handler(), stdout,
+		"pes-serve: shutting down (queued campaigns are canceled, running ones finish)")
 	svc.Close()
+	if err != nil {
+		return err
+	}
 	st := svc.Stats()
 	fmt.Fprintf(stdout, "pes-serve: served %d sessions (%d simulated, %d from cache; %d solves, %d plan-cache hits)\n",
 		st.Sessions, st.UniqueRuns, st.CacheHits, st.Solver.Solves, st.Solver.PlanCacheHits)

@@ -13,6 +13,8 @@ import (
 const goldenUsage = `Usage of pes-serve:
   -addr string
     	listen address (default ":8080")
+  -cache-max-entries int
+    	LRU bound on the session memo cache and artifact store (0 = unbounded)
   -jobs int
     	campaigns executed concurrently (default 2)
   -parallel int
@@ -23,6 +25,10 @@ const goldenUsage = `Usage of pes-serve:
     	evaluation traces per application (figure endpoints) (default 3)
   -train int
     	training traces per seen application (default 8)
+  -worker
+    	run as a cluster worker (serve the shard API instead of the campaign API)
+  -workers string
+    	comma-separated cluster worker addresses (host:port) to shard campaigns across (empty = in-process execution)
 `
 
 func TestRunGoldenUsage(t *testing.T) {
@@ -51,6 +57,9 @@ func TestParseArgsValidation(t *testing.T) {
 		{"zero train", []string{"-train", "0"}, "-train"},
 		{"negative parallel", []string{"-parallel", "-1"}, "-parallel"},
 		{"zero jobs", []string{"-jobs", "0"}, "-jobs"},
+		{"negative cache bound", []string{"-cache-max-entries", "-1"}, "-cache-max-entries"},
+		{"worker and workers", []string{"-worker", "-workers", "localhost:9001"}, "mutually exclusive"},
+		{"empty worker address", []string{"-workers", "localhost:9001,,localhost:9002"}, "empty address"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -75,5 +84,29 @@ func TestParseArgsDefaults(t *testing.T) {
 	}
 	if cfg.exp.EvalTracesPerApp != 3 || cfg.exp.TrainTracesPerApp != 8 || cfg.exp.Seed != 1 {
 		t.Errorf("unexpected experiment defaults: %+v", cfg.exp)
+	}
+	if cfg.worker || cfg.workers != nil || cfg.exp.CacheMaxEntries != 0 {
+		t.Errorf("cluster/cache defaults not zero: %+v", cfg)
+	}
+}
+
+func TestParseArgsClusterModes(t *testing.T) {
+	var errOut bytes.Buffer
+	cfg, err := parseArgs([]string{"-workers", " localhost:9001, localhost:9002 ", "-cache-max-entries", "512"}, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.workers) != 2 || cfg.workers[0] != "localhost:9001" || cfg.workers[1] != "localhost:9002" {
+		t.Errorf("worker list = %q, want the two trimmed addresses", cfg.workers)
+	}
+	if cfg.exp.CacheMaxEntries != 512 {
+		t.Errorf("CacheMaxEntries = %d, want 512", cfg.exp.CacheMaxEntries)
+	}
+	cfg, err = parseArgs([]string{"-worker", "-addr", ":9001"}, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.worker || cfg.addr != ":9001" {
+		t.Errorf("worker mode not parsed: %+v", cfg)
 	}
 }

@@ -39,6 +39,7 @@
 package artifacts
 
 import (
+	"container/list"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -93,6 +94,9 @@ type (
 	traceEntry struct {
 		once sync.Once
 		tr   *trace.Trace
+		// elem is the entry's LRU slot, linked (under Store.mu) once the
+		// trace is built; in-flight entries are never evicted.
+		elem *list.Element
 	}
 	runtimeEntry struct {
 		once sync.Once
@@ -128,6 +132,13 @@ type Stats struct {
 	FingerprintHits   int64 `json:"fingerprint_hits"`
 	LearnerBuilds     int64 `json:"learner_builds"`
 	LearnerHits       int64 `json:"learner_hits"`
+	// TraceEntries is the number of traces currently retained;
+	// TraceEvictions counts traces dropped by the LRU bound (zero on
+	// unbounded stores). Evicting a trace also drops its derived runtime
+	// events and fingerprint; regeneration is deterministic, so eviction
+	// never changes an artifact's content, only whether it is rebuilt.
+	TraceEntries   int64 `json:"trace_entries"`
+	TraceEvictions int64 `json:"trace_evictions"`
 	// PageBuilds and PageHits are the process-wide DOM page-tree cache
 	// counters (webapp.PageCacheStats); they are global, not per store.
 	PageBuilds int64 `json:"page_builds"`
@@ -143,11 +154,14 @@ type Store struct {
 	fingerprints map[*trace.Trace]*fingerprintEntry
 	learners     map[LearnerKey]*learnerEntry
 	corpora      map[corpusKey]*corpusEntry
+	maxTraces    int        // 0 = unbounded
+	traceLRU     *list.List // completed trace keys, most recently used first
 
 	traceBuilds, traceHits             atomic.Int64
 	runtimeBuilds, runtimeHits         atomic.Int64
 	fingerprintBuilds, fingerprintHits atomic.Int64
 	learnerBuilds, learnerHits         atomic.Int64
+	traceEvictions                     atomic.Int64
 }
 
 // NewStore creates an empty artifact store. Most callers want Default; a
@@ -161,7 +175,23 @@ func NewStore() *Store {
 		fingerprints: make(map[*trace.Trace]*fingerprintEntry),
 		learners:     make(map[LearnerKey]*learnerEntry),
 		corpora:      make(map[corpusKey]*corpusEntry),
+		traceLRU:     list.New(),
 	}
+}
+
+// WithMaxTraces bounds the per-trace cache to at most n generated traces,
+// evicting least-recently-used ones (together with their derived runtime
+// events and fingerprints) beyond it; n <= 0 keeps the cache unbounded (the
+// default). Learners and corpora are never evicted — they are bounded by
+// the handful of training configurations a process touches. It returns the
+// store for chaining. The write is synchronized (a harness may bound the
+// process-wide Default while other consumers run), but the bound only
+// applies to traces completed after it is set.
+func (s *Store) WithMaxTraces(n int) *Store {
+	s.mu.Lock()
+	s.maxTraces = n
+	s.mu.Unlock()
+	return s
 }
 
 // owns reports whether the store generated the trace (and thus keeps its
@@ -175,6 +205,9 @@ func (s *Store) owns(tr *trace.Trace) bool {
 // Stats returns a snapshot of the counters.
 func (s *Store) Stats() Stats {
 	pageBuilds, pageHits := webapp.PageCacheStats()
+	s.mu.Lock()
+	entries := int64(len(s.traces))
+	s.mu.Unlock()
 	return Stats{
 		TraceBuilds:       s.traceBuilds.Load(),
 		TraceHits:         s.traceHits.Load(),
@@ -184,6 +217,8 @@ func (s *Store) Stats() Stats {
 		FingerprintHits:   s.fingerprintHits.Load(),
 		LearnerBuilds:     s.learnerBuilds.Load(),
 		LearnerHits:       s.learnerHits.Load(),
+		TraceEntries:      entries,
+		TraceEvictions:    s.traceEvictions.Load(),
 		PageBuilds:        pageBuilds,
 		PageHits:          pageHits,
 	}
@@ -221,7 +256,44 @@ func (s *Store) Trace(spec *webapp.Spec, seed int64, purpose string, opts trace.
 		s.mu.Unlock()
 		e.tr = tr
 	})
+	s.touchTrace(k, e)
 	return e.tr
+}
+
+// touchTrace marks a trace entry most-recently-used once it is built and
+// applies the LRU bound. Evicting a trace drops its derived runtime-event
+// and fingerprint entries too; consumers already holding the trace pointer
+// keep working (the trace itself is immutable), and a later request for the
+// same key regenerates a bit-identical trace.
+func (s *Store) touchTrace(k traceKey, e *traceEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.elem != nil {
+		s.traceLRU.MoveToFront(e.elem)
+		return
+	}
+	if s.traces[k] != e {
+		return // evicted while (or before) completing
+	}
+	e.elem = s.traceLRU.PushFront(k)
+	if s.maxTraces <= 0 {
+		return
+	}
+	for len(s.traces) > s.maxTraces {
+		back := s.traceLRU.Back()
+		if back == nil {
+			break // only in-flight entries remain
+		}
+		old := back.Value.(traceKey)
+		if oe, ok := s.traces[old]; ok && oe.elem == back {
+			delete(s.traces, old)
+			delete(s.owned, oe.tr)
+			delete(s.runtimes, oe.tr)
+			delete(s.fingerprints, oe.tr)
+			s.traceEvictions.Add(1)
+		}
+		s.traceLRU.Remove(back)
+	}
 }
 
 // Runtime returns the runtime event instances of a trace, parsing them on

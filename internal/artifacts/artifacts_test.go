@@ -206,3 +206,72 @@ func ExampleStore_Trace() {
 	fmt.Println(a == b, store.Stats().TraceBuilds)
 	// Output: true 1
 }
+
+// TestTraceLRUBound exercises the trace-cache LRU: the cache honors its
+// bound, evicting a trace drops its derived artifacts, and a re-requested
+// trace regenerates bit-identically (same fingerprint), so eviction can
+// never change a session's memo key or result.
+func TestTraceLRUBound(t *testing.T) {
+	store := NewStore().WithMaxTraces(2)
+	apps := webapp.SeenApps()[:3]
+	platform := acmp.Exynos5410()
+	platform.Configs()
+
+	first := store.Trace(apps[0], 1, trace.PurposeEval, trace.Options{})
+	firstPrint := store.Fingerprint(platform, first)
+	store.Trace(apps[1], 1, trace.PurposeEval, trace.Options{})
+	store.Trace(apps[2], 1, trace.PurposeEval, trace.Options{})
+
+	st := store.Stats()
+	if st.TraceBuilds != 3 || st.TraceEntries != 2 || st.TraceEvictions != 1 {
+		t.Fatalf("after 3 builds on a 2-slot cache: %+v", st)
+	}
+	// The evicted trace's derived entries are gone with it.
+	if store.owns(first) {
+		t.Error("evicted trace still owned by the store")
+	}
+
+	// A consumer still holding the evicted pointer keeps working, uncached.
+	if _, err := store.Runtime(first); err != nil {
+		t.Fatalf("runtime of evicted trace: %v", err)
+	}
+
+	// Re-requesting the evicted key regenerates a bit-identical trace: the
+	// content fingerprint — and with it every batch memo key — is unchanged.
+	again := store.Trace(apps[0], 1, trace.PurposeEval, trace.Options{})
+	if again == first {
+		t.Fatal("evicted trace was not regenerated")
+	}
+	if got := store.Fingerprint(platform, again); got != firstPrint {
+		t.Errorf("regenerated trace fingerprint %s != original %s", got, firstPrint)
+	}
+	if st := store.Stats(); st.TraceBuilds != 4 || st.TraceEvictions != 2 {
+		t.Errorf("after regeneration: %+v, want 4 builds / 2 evictions", st)
+	}
+}
+
+// TestTraceLRUConcurrent hammers a tightly bounded store from many
+// goroutines; under -race this exercises eviction racing singleflight
+// construction, and every request must still yield a usable trace.
+func TestTraceLRUConcurrent(t *testing.T) {
+	store := NewStore().WithMaxTraces(2)
+	apps := webapp.SeenApps()[:4]
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				tr := store.Trace(apps[i%len(apps)], 1, trace.PurposeEval, trace.Options{})
+				if tr == nil || len(tr.Events) == 0 {
+					t.Error("bounded store returned an unusable trace")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := store.Stats(); st.TraceEntries > 2 {
+		t.Errorf("trace cache grew past its bound: %+v", st)
+	}
+}

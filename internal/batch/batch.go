@@ -8,6 +8,7 @@
 package batch
 
 import (
+	"container/list"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -57,6 +58,14 @@ type Stats struct {
 	UniqueRuns int64
 	// CacheHits is the number of sessions served from the memo cache.
 	CacheHits int64
+	// CacheEntries is the number of results currently retained in the memo
+	// cache.
+	CacheEntries int64
+	// CacheEvictions is the number of results dropped by the LRU bound
+	// (zero on unbounded runners). An evicted session re-simulates on its
+	// next request — results are deterministic, so eviction never changes
+	// what a session returns, only whether it is recomputed.
+	CacheEvictions int64
 	// Solver sums the constrained-optimization work of the unique runs
 	// (sessions served from the memo cache contribute nothing — their
 	// solver work was never repeated).
@@ -77,12 +86,15 @@ type Runner struct {
 	workers   int
 	artifacts *artifacts.Store
 
-	mu    sync.Mutex
-	cache map[Key]*entry
+	mu         sync.Mutex
+	cache      map[Key]*entry
+	maxEntries int        // 0 = unbounded
+	lru        *list.List // completed keys, most recently used first
 
 	sessions   atomic.Int64
 	uniqueRuns atomic.Int64
 	cacheHits  atomic.Int64
+	evictions  atomic.Int64
 
 	solverMu sync.Mutex
 	solver   optimizer.SolverStats
@@ -95,6 +107,9 @@ type entry struct {
 	once sync.Once
 	res  *engine.Result
 	err  error
+	// elem is the entry's LRU slot, linked (under Runner.mu) once the build
+	// completes; in-flight entries are never evicted.
+	elem *list.Element
 }
 
 // NewRunner creates a runner with the given worker-pool size; workers <= 0
@@ -103,7 +118,19 @@ func NewRunner(workers int) *Runner {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	return &Runner{workers: workers, cache: make(map[Key]*entry)}
+	return &Runner{workers: workers, cache: make(map[Key]*entry), lru: list.New()}
+}
+
+// WithMaxEntries bounds the memo cache to at most n completed results,
+// evicting least-recently-used entries beyond it; n <= 0 keeps the cache
+// unbounded (the default). It returns the runner for chaining. The write is
+// synchronized, but the bound only applies to entries completed after it is
+// set — set it before running batches.
+func (r *Runner) WithMaxEntries(n int) *Runner {
+	r.mu.Lock()
+	r.maxEntries = n
+	r.mu.Unlock()
+	return r
 }
 
 // Workers returns the worker-pool size.
@@ -122,11 +149,16 @@ func (r *Runner) Stats() Stats {
 	r.solverMu.Lock()
 	solver := r.solver
 	r.solverMu.Unlock()
+	r.mu.Lock()
+	entries := int64(len(r.cache))
+	r.mu.Unlock()
 	st := Stats{
-		Sessions:   r.sessions.Load(),
-		UniqueRuns: r.uniqueRuns.Load(),
-		CacheHits:  r.cacheHits.Load(),
-		Solver:     solver,
+		Sessions:       r.sessions.Load(),
+		UniqueRuns:     r.uniqueRuns.Load(),
+		CacheHits:      r.cacheHits.Load(),
+		CacheEntries:   entries,
+		CacheEvictions: r.evictions.Load(),
+		Solver:         solver,
 	}
 	if r.artifacts != nil {
 		a := r.artifacts.Stats()
@@ -147,6 +179,39 @@ func (r *Runner) entryFor(k Key) *entry {
 	return e
 }
 
+// touch marks an entry most-recently-used once its build has completed and
+// applies the LRU bound. Only completed entries join the LRU list, so an
+// in-flight simulation can never be evicted from under its waiters; an
+// entry evicted between its build and this touch (possible when another
+// key's touch ran eviction first) is simply not re-linked.
+func (r *Runner) touch(k Key, e *entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.elem != nil {
+		r.lru.MoveToFront(e.elem)
+		return
+	}
+	if r.cache[k] != e {
+		return // evicted while (or before) completing
+	}
+	e.elem = r.lru.PushFront(k)
+	if r.maxEntries <= 0 {
+		return
+	}
+	for len(r.cache) > r.maxEntries {
+		back := r.lru.Back()
+		if back == nil {
+			break // only in-flight entries remain
+		}
+		old := back.Value.(Key)
+		if oe, ok := r.cache[old]; ok && oe.elem == back {
+			delete(r.cache, old)
+			r.evictions.Add(1)
+		}
+		r.lru.Remove(back)
+	}
+}
+
 // one resolves a single session through the cache.
 func (r *Runner) one(s Session) (*engine.Result, error) {
 	r.sessions.Add(1)
@@ -162,6 +227,7 @@ func (r *Runner) one(s Session) (*engine.Result, error) {
 			r.solverMu.Unlock()
 		}
 	})
+	r.touch(s.Key, e)
 	if hit {
 		r.cacheHits.Add(1)
 	}

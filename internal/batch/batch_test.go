@@ -291,3 +291,79 @@ func TestStatsCarryAttachedArtifacts(t *testing.T) {
 		t.Errorf("artifact counters not threaded: %+v", st.Artifacts)
 	}
 }
+
+// TestRunnerLRUBound exercises the memo-cache LRU: the cache never exceeds
+// its bound, eviction is least-recently-used, evicted sessions re-simulate
+// deterministically, and the counters report it all.
+func TestRunnerLRUBound(t *testing.T) {
+	r := NewRunner(1).WithMaxEntries(3)
+	// Four unique keys through a 3-slot cache: the oldest (seed 0) falls out.
+	for seed := int64(0); seed < 4; seed++ {
+		if _, err := r.Run([]Session{ebsSession(t, "cnn", seed)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Stats()
+	if st.UniqueRuns != 4 || st.CacheEntries != 3 || st.CacheEvictions != 1 {
+		t.Fatalf("after 4 inserts: %+v, want 4 unique / 3 entries / 1 eviction", st)
+	}
+
+	// Touch seed 1 (making seed 2 the LRU), then insert seed 4: seed 2 must
+	// be the victim, seed 1 must still be cached.
+	if _, err := r.Run([]Session{ebsSession(t, "cnn", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.CacheHits != 1 {
+		t.Fatalf("touching a cached key did not hit: %+v", st)
+	}
+	if _, err := r.Run([]Session{ebsSession(t, "cnn", 4)}); err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	_, has1 := r.cache[ebsSession(t, "cnn", 1).Key]
+	_, has2 := r.cache[ebsSession(t, "cnn", 2).Key]
+	r.mu.Unlock()
+	if !has1 || has2 {
+		t.Errorf("LRU victim wrong: seed1 cached=%t (want true), seed2 cached=%t (want false)", has1, has2)
+	}
+
+	// An evicted session re-simulates and reproduces the same result.
+	first, err := r.Run([]Session{ebsSession(t, "cnn", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = r.Stats()
+	if st.UniqueRuns != 6 { // 5 distinct seeds + the re-simulated seed 0
+		t.Errorf("evicted session was not re-simulated: %+v", st)
+	}
+	if first[0] == nil || first[0].TotalEnergyMJ <= 0 {
+		t.Errorf("re-simulated result malformed: %+v", first[0])
+	}
+}
+
+// TestRunnerLRUBoundConcurrent hammers a tightly bounded cache from many
+// goroutines; under -race this exercises eviction racing lookups, and every
+// request must still resolve to a result.
+func TestRunnerLRUBoundConcurrent(t *testing.T) {
+	r := NewRunner(8).WithMaxEntries(2)
+	var sessions []Session
+	for i := 0; i < 60; i++ {
+		sessions = append(sessions, ebsSession(t, "cnn", int64(i%6)))
+	}
+	out, err := r.Run(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range out {
+		if res == nil {
+			t.Fatalf("result %d missing", i)
+		}
+	}
+	st := r.Stats()
+	if st.CacheEntries > 2 {
+		t.Errorf("cache grew past its bound: %+v", st)
+	}
+	if st.CacheEvictions == 0 {
+		t.Errorf("no evictions on a 2-slot cache over 6 keys: %+v", st)
+	}
+}

@@ -1,0 +1,439 @@
+// Package cluster is the multi-process execution layer: a coordinator that
+// expands a campaign's sessions into per-worker shards, routes each shard to
+// a worker by consistent hashing on the batch memo key, executes shards over
+// an HTTP transport, and merges the per-session results back in campaign
+// order — byte-identical to single-process execution.
+//
+// The design leans on two properties the lower layers already guarantee:
+//
+//   - Determinism. A session is fully described by (platform, app, trace
+//     seed, scheduler, predictor config): trace generation, predictor
+//     training, and the simulation itself are deterministic, so a worker
+//     that rebuilds the session from this description produces the same
+//     Result bytes the coordinator's own process would have (workers must
+//     run the same harness configuration — training scale and seed — which
+//     cmd/pes-serve enforces by sharing one flag set).
+//   - Keyed caching. Routing hashes the same tuple the batch memo cache is
+//     keyed by, so a given session always lands on the same worker; repeat
+//     campaigns hit that worker's warm memo cache, and sessions of one
+//     (app, seed) pair cluster on few workers, keeping each worker's
+//     artifact cache (traces, runtime events, fingerprints) warm too.
+//
+// Partial failure is handled by rerouting: when a worker fails a shard
+// (transport error or malformed response), the worker is excluded for the
+// rest of the run and the shard's sessions are re-routed through the ring
+// across the remaining workers. A per-session simulation error reported by
+// a healthy worker is not retried — simulation is deterministic, so it
+// would fail identically anywhere — and surfaces like the in-process
+// runner's first error.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/engine"
+	"repro/internal/predictor"
+)
+
+// SessionSpec is the wire description of one session: the same tuple that
+// keys the batch memo cache. A worker rebuilds the full batch session —
+// trace, runtime events, scheduler instance — from it; Predictor must be
+// fully specified (the campaign layer merges defaults before routing).
+type SessionSpec struct {
+	Platform  string           `json:"platform"`
+	App       string           `json:"app"`
+	TraceSeed int64            `json:"trace_seed"`
+	Scheduler string           `json:"scheduler"`
+	Predictor predictor.Config `json:"predictor"`
+}
+
+// RouteKey canonically encodes the memo-key tuple for consistent hashing.
+func (s SessionSpec) RouteKey() string {
+	var b strings.Builder
+	b.WriteString(s.Platform)
+	b.WriteByte('|')
+	b.WriteString(s.App)
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(s.TraceSeed, 10))
+	b.WriteByte('|')
+	b.WriteString(s.Scheduler)
+	b.WriteByte('|')
+	fmt.Fprintf(&b, "ct=%g,deg=%d,dom=%t", s.Predictor.ConfidenceThreshold, s.Predictor.MaxDegree, s.Predictor.UseDOMAnalysis)
+	return b.String()
+}
+
+// ShardRequest is the body of POST /v1/shards: the sessions routed to one
+// worker.
+type ShardRequest struct {
+	Sessions []SessionSpec `json:"sessions"`
+}
+
+// ShardResponse is a worker's answer: results index-aligned with the
+// request's sessions (entries are null for failed sessions), the first
+// session error if any, and a snapshot of the worker's cumulative
+// runner/artifact counters (how warm its caches are).
+type ShardResponse struct {
+	Results []*engine.Result `json:"results"`
+	Error   string           `json:"error,omitempty"`
+	Stats   batch.Stats      `json:"stats"`
+}
+
+// Transport executes one shard on one worker. Implementations must be safe
+// for concurrent use; an error return means the worker (not a session)
+// failed and the shard will be retried elsewhere.
+type Transport interface {
+	RunShard(ctx context.Context, worker string, req ShardRequest) (ShardResponse, error)
+}
+
+// Stats snapshots a coordinator's counters.
+type Stats struct {
+	// Workers is the configured worker count.
+	Workers int `json:"workers"`
+	// Shards counts shard dispatches (including retried dispatches);
+	// SessionsRouted counts the sessions inside them.
+	Shards         int64 `json:"shards"`
+	SessionsRouted int64 `json:"sessions_routed"`
+	// Retries counts shards re-routed to another worker after a failure;
+	// WorkerFailures counts the failed dispatches that caused them.
+	Retries        int64 `json:"retries"`
+	WorkerFailures int64 `json:"worker_failures"`
+	// Remote sums the latest runner-stats snapshot reported by each worker:
+	// cache hits here are sessions a worker served from its warm memo cache.
+	Remote batch.Stats `json:"remote"`
+}
+
+// Config parameterizes a coordinator.
+type Config struct {
+	// Workers lists the worker addresses ("host:port" or a full URL).
+	Workers []string
+	// Transport overrides the shard transport; nil selects HTTP.
+	Transport Transport
+	// Replicas is the number of virtual nodes per worker on the hash ring
+	// (default 64).
+	Replicas int
+	// ShardTimeout bounds one shard execution (default 10 minutes). A
+	// shard that exceeds it counts as a worker failure — the worker is
+	// excluded and the shard re-routed — so size it above the largest
+	// expected shard's cold (cache-miss) run time.
+	ShardTimeout time.Duration
+}
+
+// Coordinator routes sessions to workers and merges their results. Safe for
+// concurrent use; one coordinator serves every campaign of a server.
+type Coordinator struct {
+	cfg       Config
+	ring      *ring
+	transport Transport
+
+	shards         atomic.Int64
+	sessionsRouted atomic.Int64
+	retries        atomic.Int64
+	workerFailures atomic.Int64
+
+	mu          sync.Mutex
+	workerStats map[string]batch.Stats // latest snapshot per worker
+}
+
+// New builds a coordinator over the configured workers.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("cluster: no workers configured")
+	}
+	seen := map[string]bool{}
+	for _, w := range cfg.Workers {
+		if strings.TrimSpace(w) == "" {
+			return nil, fmt.Errorf("cluster: empty worker address")
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("cluster: duplicate worker address %q", w)
+		}
+		seen[w] = true
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 64
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = 10 * time.Minute
+	}
+	t := cfg.Transport
+	if t == nil {
+		t = &httpTransport{client: &http.Client{}}
+	}
+	return &Coordinator{
+		cfg:         cfg,
+		ring:        newRing(cfg.Workers, cfg.Replicas),
+		transport:   t,
+		workerStats: make(map[string]batch.Stats),
+	}, nil
+}
+
+// Workers returns the configured worker addresses.
+func (c *Coordinator) Workers() []string { return c.cfg.Workers }
+
+// Stats returns a snapshot of the coordinator's counters.
+func (c *Coordinator) Stats() Stats {
+	st := Stats{
+		Workers:        len(c.cfg.Workers),
+		Shards:         c.shards.Load(),
+		SessionsRouted: c.sessionsRouted.Load(),
+		Retries:        c.retries.Load(),
+		WorkerFailures: c.workerFailures.Load(),
+	}
+	c.mu.Lock()
+	for _, ws := range c.workerStats {
+		st.Remote.Sessions += ws.Sessions
+		st.Remote.UniqueRuns += ws.UniqueRuns
+		st.Remote.CacheHits += ws.CacheHits
+		st.Remote.CacheEntries += ws.CacheEntries
+		st.Remote.CacheEvictions += ws.CacheEvictions
+		st.Remote.Solver = st.Remote.Solver.Add(ws.Solver)
+	}
+	c.mu.Unlock()
+	return st
+}
+
+// shard is one dispatch unit: the worker it is routed to and the original
+// indices of its sessions.
+type shard struct {
+	worker  int
+	indices []int
+}
+
+// route groups the pending session indices into shards by ring ownership,
+// skipping excluded workers. Shards come back in worker order so dispatch
+// is deterministic.
+func (c *Coordinator) route(specs []SessionSpec, pending []int, excluded map[int]bool) []shard {
+	byWorker := make(map[int][]int)
+	for _, i := range pending {
+		w, ok := c.ring.owner(specs[i].RouteKey(), excluded)
+		if !ok {
+			return nil
+		}
+		byWorker[w] = append(byWorker[w], i)
+	}
+	workers := make([]int, 0, len(byWorker))
+	for w := range byWorker {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	out := make([]shard, 0, len(workers))
+	for _, w := range workers {
+		out = append(out, shard{worker: w, indices: byWorker[w]})
+	}
+	return out
+}
+
+// Run executes the sessions across the workers and returns the results
+// index-aligned with the input — the same contract as the in-process batch
+// runner: on a session error the first error is returned and the
+// corresponding entries are nil, while every other session still completes.
+// progress (may be nil) is called once per resolved session, possibly from
+// several goroutines. A worker failure excludes that worker for the rest of
+// the run and re-routes its shard; Run fails only when every worker has
+// failed.
+func (c *Coordinator) Run(specs []SessionSpec, progress func(completed, total int)) ([]*engine.Result, error) {
+	out := make([]*engine.Result, len(specs))
+	total := len(specs)
+	var completed atomic.Int64
+	note := func(n int) {
+		if progress == nil {
+			return
+		}
+		for i := 0; i < n; i++ {
+			progress(int(completed.Add(1)), total)
+		}
+	}
+
+	excluded := make(map[int]bool)
+	pending := make([]int, len(specs))
+	for i := range specs {
+		pending[i] = i
+	}
+	var firstErr error
+	var lastWorkerErr error
+	retrying := false
+	for len(pending) > 0 {
+		shards := c.route(specs, pending, excluded)
+		if len(shards) == 0 {
+			// Surface the cause, not just the count: a deterministic
+			// rejection (bad spec, coordinator/worker version skew) fails
+			// every worker identically and would otherwise be
+			// indistinguishable from an outage.
+			return out, fmt.Errorf("cluster: all %d workers failed (last error: %w)", len(c.cfg.Workers), lastWorkerErr)
+		}
+		if retrying {
+			c.retries.Add(int64(len(shards)))
+		}
+
+		type shardOutcome struct {
+			shard shard
+			resp  ShardResponse
+			err   error
+		}
+		outcomes := make([]shardOutcome, len(shards))
+		var wg sync.WaitGroup
+		for si, sh := range shards {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				req := ShardRequest{Sessions: make([]SessionSpec, len(sh.indices))}
+				for k, i := range sh.indices {
+					req.Sessions[k] = specs[i]
+				}
+				c.shards.Add(1)
+				c.sessionsRouted.Add(int64(len(sh.indices)))
+				ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ShardTimeout)
+				defer cancel()
+				resp, err := c.transport.RunShard(ctx, c.cfg.Workers[sh.worker], req)
+				if err == nil && len(resp.Results) != len(sh.indices) {
+					err = fmt.Errorf("cluster: worker %s returned %d results for %d sessions",
+						c.cfg.Workers[sh.worker], len(resp.Results), len(sh.indices))
+				}
+				outcomes[si] = shardOutcome{shard: sh, resp: resp, err: err}
+			}()
+		}
+		wg.Wait()
+
+		var next []int
+		for _, oc := range outcomes {
+			if oc.err != nil {
+				c.workerFailures.Add(1)
+				excluded[oc.shard.worker] = true
+				lastWorkerErr = oc.err
+				next = append(next, oc.shard.indices...)
+				continue
+			}
+			for k, i := range oc.shard.indices {
+				out[i] = oc.resp.Results[k]
+			}
+			if oc.resp.Error != "" && firstErr == nil {
+				firstErr = fmt.Errorf("cluster: worker %s: %s", c.cfg.Workers[oc.shard.worker], oc.resp.Error)
+			}
+			c.mu.Lock()
+			c.workerStats[c.cfg.Workers[oc.shard.worker]] = oc.resp.Stats
+			c.mu.Unlock()
+			note(len(oc.shard.indices))
+		}
+		sort.Ints(next)
+		pending = next
+		retrying = len(pending) > 0
+	}
+	return out, firstErr
+}
+
+// ring is a consistent-hash ring: Replicas virtual nodes per worker, placed
+// by FNV-64a. Ownership of a key is the first virtual node clockwise from
+// the key's hash whose worker is not excluded, so removing a worker only
+// moves the sessions it owned.
+type ring struct {
+	hashes  []uint64
+	workers []int // worker index per virtual node, aligned with hashes
+}
+
+// hash64 hashes a string for ring placement. Raw FNV-64a keeps most of the
+// difference between similar strings (worker addresses, route keys that
+// share long prefixes) in the low bits, which clusters a worker's virtual
+// nodes into contiguous runs and starves the others; a murmur3-style
+// finalizer scatters those bits across the whole ring.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, s)
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func newRing(workers []string, replicas int) *ring {
+	type vnode struct {
+		hash   uint64
+		worker int
+	}
+	vnodes := make([]vnode, 0, len(workers)*replicas)
+	for wi, w := range workers {
+		for r := 0; r < replicas; r++ {
+			vnodes = append(vnodes, vnode{hash: hash64(w + "#" + strconv.Itoa(r)), worker: wi})
+		}
+	}
+	sort.Slice(vnodes, func(i, j int) bool {
+		if vnodes[i].hash != vnodes[j].hash {
+			return vnodes[i].hash < vnodes[j].hash
+		}
+		return vnodes[i].worker < vnodes[j].worker
+	})
+	r := &ring{hashes: make([]uint64, len(vnodes)), workers: make([]int, len(vnodes))}
+	for i, v := range vnodes {
+		r.hashes[i] = v.hash
+		r.workers[i] = v.worker
+	}
+	return r
+}
+
+// owner returns the worker owning the key, skipping excluded workers; ok is
+// false when every worker is excluded.
+func (r *ring) owner(key string, excluded map[int]bool) (int, bool) {
+	h := hash64(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	for off := 0; off < len(r.hashes); off++ {
+		w := r.workers[(start+off)%len(r.hashes)]
+		if !excluded[w] {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// httpTransport POSTs shards to workers over HTTP.
+type httpTransport struct {
+	client *http.Client
+}
+
+// workerURL normalizes a worker address to a base URL.
+func workerURL(w string) string {
+	if strings.Contains(w, "://") {
+		return strings.TrimRight(w, "/")
+	}
+	return "http://" + w
+}
+
+func (t *httpTransport) RunShard(ctx context.Context, worker string, req ShardRequest) (ShardResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return ShardResponse{}, fmt.Errorf("cluster: encoding shard: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, workerURL(worker)+"/v1/shards", bytes.NewReader(body))
+	if err != nil {
+		return ShardResponse{}, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := t.client.Do(httpReq)
+	if err != nil {
+		return ShardResponse{}, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
+		return ShardResponse{}, fmt.Errorf("cluster: worker %s returned %d: %s", worker, httpResp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var resp ShardResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return ShardResponse{}, fmt.Errorf("cluster: decoding worker %s response: %w", worker, err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,329 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/acmp"
+	"repro/internal/batch"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/predictor"
+	"repro/internal/sessions"
+	"repro/internal/trace"
+	"repro/internal/webapp"
+)
+
+// testSpecs expands a small campaign — 2 apps × 2 seeds × all 5 schedulers,
+// 20 distinct memo keys — enough that both workers of a 2-worker ring own
+// sessions with near certainty.
+func testSpecs() []SessionSpec {
+	var specs []SessionSpec
+	for _, app := range []string{"cnn", "ebay"} {
+		for _, seed := range []int64{1, 2} {
+			for _, sched := range sessions.Names() {
+				specs = append(specs, SessionSpec{
+					Platform:  "Exynos5410",
+					App:       app,
+					TraceSeed: seed,
+					Scheduler: sched,
+					Predictor: predictor.DefaultConfig(),
+				})
+			}
+		}
+	}
+	return specs
+}
+
+func smallConfig() experiments.Config {
+	return experiments.Config{TrainTracesPerApp: 2, EvalTracesPerApp: 1, Parallel: 2}
+}
+
+func newTestWorker(t *testing.T) *Worker {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("cluster tests train a predictor")
+	}
+	w, err := NewWorker(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// directResults simulates the specs single-process on a fresh serial runner
+// sharing the workers' harness configuration.
+func directResults(t *testing.T, specs []SessionSpec) []*engine.Result {
+	t.Helper()
+	setup, err := experiments.NewSetup(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batchSessions []batch.Session
+	for _, spec := range specs {
+		platform, err := acmp.ByName(spec.Platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := webapp.ByName(spec.App)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := sessions.New(sessions.Spec{
+			Platform:  platform,
+			Trace:     setup.Artifacts.Trace(app, spec.TraceSeed, trace.PurposeEval, trace.Options{}),
+			Scheduler: spec.Scheduler,
+			Learner:   setup.Learner,
+			Predictor: spec.Predictor,
+			Artifacts: setup.Artifacts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchSessions = append(batchSessions, sess)
+	}
+	out, err := batch.NewRunner(1).Run(batchSessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// normalize re-encodes a result with the solver wall time zeroed — the only
+// nondeterministic byte of a Result.
+func normalize(t *testing.T, res *engine.Result) []byte {
+	t.Helper()
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if solver, ok := m["Solver"].(map[string]any); ok {
+		solver["wall_ns"] = 0
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func assertIdentical(t *testing.T, specs []SessionSpec, merged, direct []*engine.Result) {
+	t.Helper()
+	if len(merged) != len(direct) {
+		t.Fatalf("merged %d results, want %d", len(merged), len(direct))
+	}
+	for i := range merged {
+		if merged[i] == nil {
+			t.Fatalf("result %d (%s/%d/%s) missing", i, specs[i].App, specs[i].TraceSeed, specs[i].Scheduler)
+		}
+		if !bytes.Equal(normalize(t, merged[i]), normalize(t, direct[i])) {
+			t.Errorf("result %d (%s/%d/%s) differs from single-process run",
+				i, specs[i].App, specs[i].TraceSeed, specs[i].Scheduler)
+		}
+	}
+}
+
+func TestRingDeterministicCompleteAndExclusive(t *testing.T) {
+	workers := []string{"worker-a:9001", "worker-b:9002", "worker-c:9003"}
+	r := newRing(workers, 64)
+	owned := make(map[int]int)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		w, ok := r.owner(key, nil)
+		if !ok {
+			t.Fatalf("no owner for %q", key)
+		}
+		// Ownership is deterministic.
+		if w2, _ := r.owner(key, nil); w2 != w {
+			t.Fatalf("owner(%q) flapped: %d then %d", key, w, w2)
+		}
+		owned[w]++
+		// Excluding the owner moves the key to another worker...
+		alt, ok := r.owner(key, map[int]bool{w: true})
+		if !ok || alt == w {
+			t.Fatalf("exclusion of %d not honored for %q: got %d, %t", w, key, alt, ok)
+		}
+		// ...and keys not owned by the excluded worker stay put.
+		if kept, _ := r.owner(key, map[int]bool{(w + 1) % len(workers): true}); kept != w {
+			t.Errorf("excluding a non-owner moved %q from %d to %d", key, w, kept)
+		}
+	}
+	for wi := range workers {
+		if owned[wi] == 0 {
+			t.Errorf("worker %d owns no keys out of 200 — ring is unbalanced", wi)
+		}
+	}
+	// With every worker excluded there is no owner.
+	if _, ok := r.owner("key-0", map[int]bool{0: true, 1: true, 2: true}); ok {
+		t.Error("owner returned ok with every worker excluded")
+	}
+}
+
+// TestCoordinatorMergesByteIdenticalOverHTTP runs a coordinator over two
+// real HTTP workers and asserts the merged results are byte-identical to a
+// single-process serial run of the same sessions.
+func TestCoordinatorMergesByteIdenticalOverHTTP(t *testing.T) {
+	w1, w2 := newTestWorker(t), newTestWorker(t)
+	ts1 := httptest.NewServer(w1.Handler())
+	defer ts1.Close()
+	ts2 := httptest.NewServer(w2.Handler())
+	defer ts2.Close()
+
+	coord, err := New(Config{Workers: []string{ts1.URL, ts2.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := testSpecs()
+	var progressed atomic.Int64
+	merged, err := coord.Run(specs, func(completed, total int) {
+		progressed.Add(1)
+		if total != len(specs) {
+			t.Errorf("progress total = %d, want %d", total, len(specs))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, specs, merged, directResults(t, specs))
+	if got := progressed.Load(); got != int64(len(specs)) {
+		t.Errorf("progress fired %d times, want %d", got, len(specs))
+	}
+	st := coord.Stats()
+	if st.SessionsRouted != int64(len(specs)) || st.Shards < 1 || st.Retries != 0 || st.WorkerFailures != 0 {
+		t.Errorf("coordinator stats = %+v", st)
+	}
+	if st.Remote.UniqueRuns != int64(len(specs)) {
+		t.Errorf("workers simulated %d unique sessions, want %d", st.Remote.UniqueRuns, len(specs))
+	}
+}
+
+// failingTransport wraps a set of in-process workers, failing every shard
+// sent to the named worker — a deterministic stand-in for a worker killed
+// mid-campaign.
+type failingTransport struct {
+	workers map[string]*Worker
+	dead    string
+
+	mu       sync.Mutex
+	failures int
+}
+
+func (f *failingTransport) RunShard(ctx context.Context, worker string, req ShardRequest) (ShardResponse, error) {
+	if worker == f.dead {
+		f.mu.Lock()
+		f.failures++
+		f.mu.Unlock()
+		return ShardResponse{}, fmt.Errorf("connection refused (worker killed)")
+	}
+	return f.workers[worker].RunShard(req)
+}
+
+// TestShardRetryOnWorkerFailure kills one of two workers and asserts every
+// shard it owned is re-routed to the survivor, with the merged results
+// still byte-identical to a single-process run.
+func TestShardRetryOnWorkerFailure(t *testing.T) {
+	alive := newTestWorker(t)
+	names := []string{"worker-alive:9001", "worker-dead:9002"}
+	transport := &failingTransport{workers: map[string]*Worker{names[0]: alive}, dead: names[1]}
+	coord, err := New(Config{Workers: names, Transport: transport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := testSpecs()
+	// The dead worker must own some sessions for the retry path to be
+	// exercised; with fixed worker names and keys this is deterministic.
+	deadOwns := 0
+	for _, s := range specs {
+		if w, _ := coord.ring.owner(s.RouteKey(), nil); w == 1 {
+			deadOwns++
+		}
+	}
+	if deadOwns == 0 {
+		t.Fatal("test fixture routes nothing to the dead worker; vary the specs")
+	}
+
+	merged, err := coord.Run(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, specs, merged, directResults(t, specs))
+	st := coord.Stats()
+	if st.WorkerFailures < 1 || st.Retries < 1 {
+		t.Errorf("stats do not show the retry: %+v", st)
+	}
+	if transport.failures < 1 {
+		t.Errorf("dead worker was never dispatched to")
+	}
+	// The survivor executed everything.
+	if got := alive.Stats().UniqueRuns; got != int64(len(specs)) {
+		t.Errorf("surviving worker simulated %d sessions, want %d", got, len(specs))
+	}
+}
+
+type everythingFails struct{}
+
+func (everythingFails) RunShard(ctx context.Context, worker string, req ShardRequest) (ShardResponse, error) {
+	return ShardResponse{}, fmt.Errorf("worker %s unreachable", worker)
+}
+
+// TestAllWorkersFailed asserts Run reports an error (not a hang or a nil
+// deref) when no worker can take a shard. No worker harness is trained, so
+// this runs even in -short mode.
+func TestAllWorkersFailed(t *testing.T) {
+	coord, err := New(Config{Workers: []string{"worker-a:9001", "worker-b:9002"}, Transport: everythingFails{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := testSpecs()[:4]
+	_, err = coord.Run(specs, nil)
+	if err == nil {
+		t.Fatal("Run succeeded with every worker failing")
+	}
+	if st := coord.Stats(); st.WorkerFailures < 2 {
+		t.Errorf("stats show %d worker failures, want both workers marked failed", st.WorkerFailures)
+	}
+}
+
+// TestWarmShardCacheHitsOnRepeatCampaign runs the same campaign twice
+// through one coordinator and asserts the second pass is served entirely
+// from the workers' warm memo caches.
+func TestWarmShardCacheHitsOnRepeatCampaign(t *testing.T) {
+	w1, w2 := newTestWorker(t), newTestWorker(t)
+	ts1 := httptest.NewServer(w1.Handler())
+	defer ts1.Close()
+	ts2 := httptest.NewServer(w2.Handler())
+	defer ts2.Close()
+	coord, err := New(Config{Workers: []string{ts1.URL, ts2.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := testSpecs()
+	first, err := coord.Run(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := coord.Run(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if !bytes.Equal(normalize(t, first[i]), normalize(t, second[i])) {
+			t.Errorf("repeat campaign result %d differs", i)
+		}
+	}
+	st := coord.Stats()
+	n := int64(len(specs))
+	if st.Remote.Sessions != 2*n || st.Remote.UniqueRuns != n || st.Remote.CacheHits != n {
+		t.Errorf("repeat campaign was not served from warm worker caches: %+v", st.Remote)
+	}
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/acmp"
+	"repro/internal/batch"
+	"repro/internal/experiments"
+	"repro/internal/sessions"
+	"repro/internal/trace"
+	"repro/internal/webapp"
+)
+
+// Worker executes shards on one process's harness: its own trained learner,
+// artifact store, and memoizing batch runner. Because every layer below is
+// deterministic, a worker configured like the coordinator (same training
+// scale and seed) produces byte-identical results to in-process execution —
+// and because routing is consistent, repeat campaigns hit its warm caches.
+type Worker struct {
+	setup *experiments.Setup
+}
+
+// NewWorker trains the worker's harness (predictor, corpus, runner) from
+// the configuration. Workers of one cluster must share the coordinator's
+// configuration for results to merge byte-identically.
+func NewWorker(cfg experiments.Config) (*Worker, error) {
+	setup, err := experiments.NewSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{setup: setup}, nil
+}
+
+// NewWorkerFromSetup wraps an existing harness setup (tests share one setup
+// between a worker and a direct runner).
+func NewWorkerFromSetup(setup *experiments.Setup) *Worker {
+	return &Worker{setup: setup}
+}
+
+// Setup exposes the worker's harness state.
+func (w *Worker) Setup() *experiments.Setup { return w.setup }
+
+// Stats snapshots the worker's runner/artifact counters.
+func (w *Worker) Stats() batch.Stats { return w.setup.Runner.Stats() }
+
+// buildSessions turns wire specs into self-contained batch sessions, the
+// same construction the campaign layer performs in-process: the trace comes
+// from the worker's artifact store, the learner is the worker's trained
+// model, and the predictor configuration is taken verbatim from the spec.
+func (w *Worker) buildSessions(specs []SessionSpec) ([]batch.Session, error) {
+	out := make([]batch.Session, 0, len(specs))
+	for i, spec := range specs {
+		platform, err := acmp.ByName(spec.Platform)
+		if err != nil {
+			return nil, fmt.Errorf("session %d: %w", i, err)
+		}
+		app, err := webapp.ByName(spec.App)
+		if err != nil {
+			return nil, fmt.Errorf("session %d: %w", i, err)
+		}
+		tr := w.setup.Artifacts.Trace(app, spec.TraceSeed, trace.PurposeEval, trace.Options{})
+		sess, err := sessions.New(sessions.Spec{
+			Platform:  platform,
+			Trace:     tr,
+			Scheduler: spec.Scheduler,
+			Learner:   w.setup.Learner,
+			Predictor: spec.Predictor,
+			Artifacts: w.setup.Artifacts,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("session %d: %w", i, err)
+		}
+		out = append(out, sess)
+	}
+	return out, nil
+}
+
+// RunShard executes one shard on the worker's runner. Invalid specs are the
+// caller's fault (the HTTP layer answers 400); a session simulation error
+// is reported in the response like the in-process runner's first error,
+// with the remaining sessions still completing.
+func (w *Worker) RunShard(req ShardRequest) (ShardResponse, error) {
+	if len(req.Sessions) == 0 {
+		return ShardResponse{}, fmt.Errorf("shard contains no sessions")
+	}
+	sess, err := w.buildSessions(req.Sessions)
+	if err != nil {
+		return ShardResponse{}, err
+	}
+	results, runErr := w.setup.Runner.Run(sess)
+	resp := ShardResponse{Results: results, Stats: w.Stats()}
+	if runErr != nil {
+		resp.Error = runErr.Error()
+	}
+	return resp, nil
+}
+
+// workerHealth is the body of a worker's GET /healthz.
+type workerHealth struct {
+	Status string      `json:"status"`
+	Role   string      `json:"role"`
+	Stats  batch.Stats `json:"stats"`
+	// Workers is the worker's simulation worker-pool size.
+	Workers int `json:"workers"`
+}
+
+// Handler returns the worker HTTP API:
+//
+//	POST /v1/shards  execute a shard of sessions, return merged-ready results
+//	GET  /healthz    liveness + cache counters
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/shards", w.handleShard)
+	mux.HandleFunc("GET /healthz", w.handleHealth)
+	return mux
+}
+
+// shardError is the JSON error body of a failed shard request.
+type shardError struct {
+	Error string `json:"error"`
+}
+
+func (w *Worker) writeJSON(rw http.ResponseWriter, code int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	_ = json.NewEncoder(rw).Encode(v)
+}
+
+func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		w.writeJSON(rw, http.StatusBadRequest, shardError{Error: "invalid shard JSON: " + err.Error()})
+		return
+	}
+	resp, err := w.RunShard(req)
+	if err != nil {
+		w.writeJSON(rw, http.StatusBadRequest, shardError{Error: err.Error()})
+		return
+	}
+	w.writeJSON(rw, http.StatusOK, resp)
+}
+
+func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
+	w.writeJSON(rw, http.StatusOK, workerHealth{
+		Status:  "ok",
+		Role:    "worker",
+		Stats:   w.Stats(),
+		Workers: w.setup.Runner.Workers(),
+	})
+}

@@ -44,6 +44,12 @@ type Config struct {
 	// Parallel is the batch runner's worker-pool size; 0 selects the number
 	// of CPUs, 1 forces serial simulation.
 	Parallel int
+	// CacheMaxEntries bounds the session memo cache (and, with a small
+	// multiple, the artifact store's trace cache) to at most this many
+	// entries with LRU eviction; 0 keeps both unbounded. Long-lived servers
+	// sweeping many seeds set it to cap memory; eviction only ever costs
+	// recomputation, never changes a result.
+	CacheMaxEntries int
 	// Artifacts optionally selects the shared artifact store; nil uses the
 	// process-wide artifacts.Default. Tests inject private stores to get
 	// isolated counters.
@@ -114,6 +120,12 @@ func NewSetup(cfg Config) (*Setup, error) {
 	if store == nil {
 		store = artifacts.Default
 	}
+	if cfg.CacheMaxEntries > 0 {
+		// A memo entry is one (app, seed, scheduler, predictor) tuple; its
+		// trace is shared by every scheduler, so the trace cache needs far
+		// fewer slots for the same working set.
+		store.WithMaxTraces(cfg.CacheMaxEntries)
+	}
 	learner, train, err := store.Learner(artifacts.LearnerKey{
 		TracesPerApp: cfg.TrainTracesPerApp,
 		CorpusSeed:   cfg.Seed * 1000,
@@ -128,7 +140,7 @@ func NewSetup(cfg Config) (*Setup, error) {
 		Learner:   learner,
 		Train:     train,
 		Eval:      eval,
-		Runner:    batch.NewRunner(cfg.Parallel).AttachArtifacts(store),
+		Runner:    batch.NewRunner(cfg.Parallel).WithMaxEntries(cfg.CacheMaxEntries).AttachArtifacts(store),
 		Artifacts: store,
 	}, nil
 }

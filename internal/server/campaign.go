@@ -8,15 +8,16 @@ package server
 import (
 	"fmt"
 	"sort"
-	"strings"
-	"sync"
 
 	"repro/internal/acmp"
 	"repro/internal/batch"
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/predictor"
 	"repro/internal/sessions"
+	"repro/internal/simtime"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/webapp"
 )
@@ -75,38 +76,25 @@ type SessionMeta struct {
 }
 
 // Plan is a validated, fully expanded campaign: the batch sessions to run
-// and, index-aligned, the metadata describing each one.
+// in-process and, index-aligned, the metadata describing each one plus the
+// wire specs the cluster coordinator routes to workers instead.
 type Plan struct {
 	Platform string
+	// Sessions holds the runnable in-process sessions; it is nil for plans
+	// a coordinator expanded for cluster execution (workers rebuild the
+	// sessions from Specs).
 	Sessions []batch.Session
 	Meta     []SessionMeta
+	// Specs mirrors Sessions as self-describing wire specs: a cluster
+	// worker rebuilds session i of this plan from Specs[i].
+	Specs []cluster.SessionSpec
 }
 
-// Shared platform instances. One instance per hardware model — instead of a
-// fresh model per campaign — keeps the artifact store's fingerprint memo
-// (keyed by platform instance) effective across campaigns; the lazy config
-// ladder is built eagerly so sharing is race-free.
-var (
-	platformsOnce sync.Once
-	exynosShared  *acmp.Platform
-	tx2Shared     *acmp.Platform
-)
-
-// platformByName resolves a campaign platform name to its hardware model.
+// platformByName resolves a campaign platform name to its shared hardware
+// model (one instance per model keeps the artifact store's pointer-keyed
+// fingerprint memo effective across campaigns).
 func platformByName(name string) (*acmp.Platform, error) {
-	platformsOnce.Do(func() {
-		exynosShared = acmp.Exynos5410()
-		exynosShared.Configs()
-		tx2Shared = acmp.TX2Parker()
-		tx2Shared.Configs()
-	})
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "", "exynos5410", "exynos", "odroid":
-		return exynosShared, nil
-	case "tx2", "tx2parker", "parker":
-		return tx2Shared, nil
-	}
-	return nil, fmt.Errorf("unknown platform %q (want exynos5410 or tx2)", name)
+	return acmp.ByName(name)
 }
 
 // predictorConfig merges a PredictorSpec over the setup's base configuration.
@@ -132,6 +120,16 @@ func predictorConfig(base predictor.Config, spec *PredictorSpec) predictor.Confi
 // apps × seeds × schedulers cross product at the base predictor
 // configuration, plus one extra PES pass per distinct sweep threshold.
 func (c Campaign) Expand(setup *experiments.Setup) (*Plan, error) {
+	return c.expand(setup, true)
+}
+
+// expand is Expand with the in-process sessions optional: a coordinator
+// executes a plan through its cluster (only Specs cross the wire), so
+// building the runnable sessions — which generates every (app, seed) trace
+// locally — would spend the exact work sharding exists to offload.
+// Validation is unchanged either way: platforms, apps, schedulers, and
+// sweep thresholds are checked during expansion itself.
+func (c Campaign) expand(setup *experiments.Setup, buildSessions bool) (*Plan, error) {
 	platform, err := platformByName(c.Platform)
 	if err != nil {
 		return nil, err
@@ -189,20 +187,23 @@ func (c Campaign) Expand(setup *experiments.Setup) (*Plan, error) {
 
 	plan := &Plan{Platform: platform.Name}
 	add := func(app *webapp.Spec, seed int64, sched string, cfg predictor.Config, label string) error {
-		// The artifact store generates each (app, seed) trace exactly once
-		// per process, no matter how many schedulers, sweep points, or
-		// overlapping campaigns replay it.
-		tr := setup.Artifacts.Trace(app, seed, trace.PurposeEval, trace.Options{})
-		sess, err := sessions.New(sessions.Spec{
-			Platform:  platform,
-			Trace:     tr,
-			Scheduler: sched,
-			Learner:   setup.Learner,
-			Predictor: cfg,
-			Artifacts: setup.Artifacts,
-		})
-		if err != nil {
-			return err
+		if buildSessions {
+			// The artifact store generates each (app, seed) trace exactly
+			// once per process, no matter how many schedulers, sweep
+			// points, or overlapping campaigns replay it.
+			tr := setup.Artifacts.Trace(app, seed, trace.PurposeEval, trace.Options{})
+			sess, err := sessions.New(sessions.Spec{
+				Platform:  platform,
+				Trace:     tr,
+				Scheduler: sched,
+				Learner:   setup.Learner,
+				Predictor: cfg,
+				Artifacts: setup.Artifacts,
+			})
+			if err != nil {
+				return err
+			}
+			plan.Sessions = append(plan.Sessions, sess)
 		}
 		meta := SessionMeta{
 			Platform:  platform.Name,
@@ -214,8 +215,14 @@ func (c Campaign) Expand(setup *experiments.Setup) (*Plan, error) {
 		if sched == sessions.PES {
 			meta.ConfidenceThreshold = cfg.ConfidenceThreshold
 		}
-		plan.Sessions = append(plan.Sessions, sess)
 		plan.Meta = append(plan.Meta, meta)
+		plan.Specs = append(plan.Specs, cluster.SessionSpec{
+			Platform:  platform.Name,
+			App:       app.Name,
+			TraceSeed: seed,
+			Scheduler: sched,
+			Predictor: cfg,
+		})
 		return nil
 	}
 	for _, app := range apps {
@@ -235,7 +242,7 @@ func (c Campaign) Expand(setup *experiments.Setup) (*Plan, error) {
 			}
 		}
 	}
-	if len(plan.Sessions) == 0 {
+	if len(plan.Meta) == 0 {
 		return nil, fmt.Errorf("campaign expands to zero sessions")
 	}
 	return plan, nil
@@ -298,5 +305,55 @@ func (p *Plan) Tables(results []*engine.Result) []*experiments.Table {
 		energy.AddRow(app, eRow...)
 		qos.AddRow(app, vRow...)
 	}
-	return []*experiments.Table{energy, qos}
+	return []*experiments.Table{energy, qos, p.percentileTable(results)}
+}
+
+// percentileTable aggregates the per-event latency distribution of each
+// scheduler label against its QoS targets: tail latencies (p50/p95/p99 in
+// milliseconds), the tail of the latency-to-QoS-target ratio (a ratio above
+// 1 is a violation; p99_qos_ratio says how deep the worst events cut into
+// their deadlines), and the overall violation percentage. Means hide tails;
+// under a heavy-traffic framing the p95/p99 columns are what a QoS budget
+// is set against.
+func (p *Plan) percentileTable(results []*engine.Result) *experiments.Table {
+	var labels []string
+	latencies := map[string][]float64{}
+	ratios := map[string][]float64{}
+	violations := map[string]int{}
+	for i, r := range results {
+		if i >= len(p.Meta) || r == nil {
+			continue
+		}
+		label := p.Meta[i].Label
+		if _, ok := latencies[label]; !ok {
+			labels = append(labels, label)
+		}
+		for _, o := range r.Outcomes {
+			latencies[label] = append(latencies[label], float64(o.Latency)/float64(simtime.Millisecond))
+			ratios[label] = append(ratios[label], float64(o.Latency)/float64(o.Event.QoSTarget()))
+			if o.Violated {
+				violations[label]++
+			}
+		}
+	}
+	tab := &experiments.Table{
+		ID:      "latency_percentiles",
+		Title:   "Per-scheduler event latency percentiles vs QoS target (all sessions pooled)",
+		Columns: []string{"p50_ms", "p95_ms", "p99_ms", "p95_qos_ratio", "p99_qos_ratio", "violation_pct"},
+	}
+	for _, label := range labels {
+		ls, rs := latencies[label], ratios[label]
+		if len(ls) == 0 {
+			continue
+		}
+		tab.AddRow(label,
+			stats.Percentile(ls, 50),
+			stats.Percentile(ls, 95),
+			stats.Percentile(ls, 99),
+			stats.Percentile(rs, 95),
+			stats.Percentile(rs, 99),
+			100*float64(violations[label])/float64(len(ls)),
+		)
+	}
+	return tab
 }

@@ -10,9 +10,12 @@ import (
 	"sync/atomic"
 
 	"repro/internal/batch"
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/optimizer"
+	"repro/internal/sessions"
+	"repro/internal/webapp"
 )
 
 // Config parameterizes the service.
@@ -31,6 +34,12 @@ type Config struct {
 	// when a new submission would exceed it, the oldest finished jobs are
 	// evicted. Default 1024.
 	MaxJobs int
+	// Cluster optionally shards campaign execution across remote workers
+	// through a coordinator; nil executes campaigns in-process on the
+	// shared runner. Figure endpoints always run in-process. Workers must
+	// share this server's Experiments configuration for merged results to
+	// be byte-identical to in-process execution.
+	Cluster *cluster.Coordinator
 }
 
 // Job statuses.
@@ -125,6 +134,9 @@ type Results struct {
 	// campaign completed; its Solver field counts only work actually
 	// performed by this server's unique runs.
 	Stats batch.Stats `json:"stats"`
+	// Cluster snapshots the coordinator's shard/retry/worker counters when
+	// campaigns are sharded across workers (absent in-process).
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 // errUnknownFigure distinguishes a bad figure name (HTTP 404) from a figure
@@ -227,7 +239,7 @@ func (s *Server) worker() {
 			continue
 		}
 		j.setStatus(StatusRunning, "")
-		results, err := s.setup.Runner.RunWithProgress(j.plan.Sessions, func(completed, total int) {
+		results, err := s.execute(j.plan, func(completed, total int) {
 			j.completed.Add(1)
 		})
 		j.mu.Lock()
@@ -241,9 +253,25 @@ func (s *Server) worker() {
 	}
 }
 
-// Submit validates and enqueues a campaign, returning its job status.
+// execute runs one expanded campaign: through the cluster coordinator when
+// one is configured (each worker resolves its shard against its own warm
+// memo/artifact caches), in-process on the shared runner otherwise. Both
+// paths return results index-aligned with the plan, so the merge — and
+// everything downstream of it (rows, tables, solver aggregation) — is
+// identical.
+func (s *Server) execute(plan *Plan, progress func(completed, total int)) ([]*engine.Result, error) {
+	if s.cfg.Cluster != nil {
+		return s.cfg.Cluster.Run(plan.Specs, progress)
+	}
+	return s.setup.Runner.RunWithProgress(plan.Sessions, progress)
+}
+
+// Submit validates and enqueues a campaign, returning its job status. In
+// cluster mode the expansion skips building runnable in-process sessions
+// (the workers rebuild them from the plan's wire specs), so submission
+// never generates traces the coordinator will not simulate.
 func (s *Server) Submit(c Campaign) (JobStatus, error) {
-	plan, err := c.Expand(s.setup)
+	plan, err := c.expand(s.setup, s.cfg.Cluster == nil)
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -257,7 +285,7 @@ func (s *Server) Submit(c Campaign) (JobStatus, error) {
 		id:       fmt.Sprintf("c%04d", s.nextID),
 		campaign: c,
 		plan:     plan,
-		total:    len(plan.Sessions),
+		total:    len(plan.Meta),
 		status:   StatusQueued,
 	}
 	// The queue is buffered, so a non-blocking send under s.mu is safe —
@@ -418,6 +446,47 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.snapshot())
 }
 
+// rowFilter is the validated server-side row selection of a results
+// request: an optional application and an optional (canonical) scheduler.
+type rowFilter struct {
+	app   string
+	sched string
+}
+
+// parseRowFilter validates the ?app= / ?scheduler= query parameters.
+func parseRowFilter(r *http.Request) (rowFilter, error) {
+	var f rowFilter
+	if name := r.URL.Query().Get("app"); name != "" {
+		spec, err := webapp.ByName(name)
+		if err != nil {
+			return f, err
+		}
+		f.app = spec.Name
+	}
+	if name := r.URL.Query().Get("scheduler"); name != "" {
+		canon, err := sessions.Canonical(name)
+		if err != nil {
+			return f, err
+		}
+		f.sched = canon
+	}
+	return f, nil
+}
+
+// match reports whether a session's metadata passes the filter.
+func (f rowFilter) match(m SessionMeta) bool {
+	return (f.app == "" || m.App == f.app) && (f.sched == "" || m.Scheduler == f.sched)
+}
+
+// wantsNDJSON reports whether the client asked for streaming NDJSON rows
+// (?format=ndjson or an Accept header naming application/x-ndjson).
+func wantsNDJSON(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "ndjson" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobByID(r.PathValue("id"))
 	if !ok {
@@ -431,22 +500,61 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	filter, err := parseRowFilter(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
 	j.mu.Lock()
 	results := j.results
 	j.mu.Unlock()
+
+	if wantsNDJSON(r) {
+		// Stream one ResultRow per line so a large sharded sweep never
+		// materializes as one giant document on either side. Aggregate
+		// tables/solver stats are JSON-mode only.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for i, res := range results {
+			if !filter.match(j.plan.Meta[i]) {
+				continue
+			}
+			if err := enc.Encode(ResultRow{SessionMeta: j.plan.Meta[i], Result: res}); err != nil {
+				return // client went away; nothing left to report
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return
+	}
+
 	rows := make([]ResultRow, 0, len(results))
 	var solver optimizer.SolverStats
 	for i, res := range results {
+		if !filter.match(j.plan.Meta[i]) {
+			continue
+		}
 		rows = append(rows, ResultRow{SessionMeta: j.plan.Meta[i], Result: res})
 		solver = solver.Add(res.Solver)
 	}
-	writeJSON(w, http.StatusOK, Results{
+	// The aggregate tables always cover the full campaign — a filtered
+	// subset would silently change what the figures mean — while rows and
+	// the solver sum honor the filter.
+	out := Results{
 		ID:     j.id,
 		Rows:   rows,
 		Tables: j.plan.Tables(results),
 		Solver: solver,
 		Stats:  s.Stats(),
-	})
+	}
+	if s.cfg.Cluster != nil {
+		cs := s.cfg.Cluster.Stats()
+		out.Cluster = &cs
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
@@ -469,16 +577,24 @@ type health struct {
 	Stats  batch.Stats `json:"stats"`
 	// Workers is the simulation worker-pool size of the shared runner.
 	Workers int `json:"workers"`
+	// Cluster reports shard/retry/remote-worker counters when campaigns
+	// are sharded across workers (absent in-process).
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	jobs := len(s.jobs)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, health{
+	h := health{
 		Status:  "ok",
 		Jobs:    jobs,
 		Stats:   s.Stats(),
 		Workers: s.setup.Runner.Workers(),
-	})
+	}
+	if s.cfg.Cluster != nil {
+		cs := s.cfg.Cluster.Stats()
+		h.Cluster = &cs
+	}
+	writeJSON(w, http.StatusOK, h)
 }

@@ -120,15 +120,34 @@ func TestPlanTables(t *testing.T) {
 		t.Fatal(err)
 	}
 	tables := plan.Tables(results)
-	if len(tables) != 2 {
-		t.Fatalf("got %d tables, want energy + qos", len(tables))
+	if len(tables) != 3 {
+		t.Fatalf("got %d tables, want energy + qos + latency percentiles", len(tables))
 	}
-	for _, tab := range tables {
+	for _, tab := range tables[:2] {
 		if got, want := strings.Join(tab.Columns, ","), "Interactive,EBS"; got != want {
 			t.Errorf("%s columns %q, want %q", tab.ID, got, want)
 		}
 		if len(tab.Rows) != 2 {
 			t.Errorf("%s has %d rows, want one per app", tab.ID, len(tab.Rows))
+		}
+	}
+	pct := tables[2]
+	if pct.ID != "latency_percentiles" {
+		t.Fatalf("third table is %q, want latency_percentiles", pct.ID)
+	}
+	if len(pct.Rows) != 2 {
+		t.Fatalf("percentile table has %d rows, want one per scheduler", len(pct.Rows))
+	}
+	for _, row := range pct.Rows {
+		p50, p95, p99 := row.Values[0], row.Values[1], row.Values[2]
+		if p50 <= 0 || p95 < p50 || p99 < p95 {
+			t.Errorf("%s percentiles not monotone: p50=%g p95=%g p99=%g", row.Label, p50, p95, p99)
+		}
+		if r95, r99 := row.Values[3], row.Values[4]; r95 <= 0 || r99 < r95 {
+			t.Errorf("%s QoS ratios not monotone: p95=%g p99=%g", row.Label, r95, r99)
+		}
+		if viol := row.Values[5]; viol < 0 || viol > 100 {
+			t.Errorf("%s violation%% out of range: %g", row.Label, viol)
 		}
 	}
 	energy := tables[0]
@@ -219,7 +238,7 @@ func TestHTTPCampaignLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if len(res.Rows) != 2 || len(res.Tables) != 2 {
+	if len(res.Rows) != 2 || len(res.Tables) != 3 {
 		t.Fatalf("results: %d rows, %d tables", len(res.Rows), len(res.Tables))
 	}
 	for _, row := range res.Rows {
@@ -382,5 +401,143 @@ func TestJobEviction(t *testing.T) {
 		if _, ok := s.jobByID(id); !ok {
 			t.Errorf("job %s was evicted while within MaxJobs", id)
 		}
+	}
+}
+
+// TestResultsFiltersAndNDJSON exercises the server-side row filters and the
+// NDJSON streaming mode of the results endpoint: filtered rows match only
+// the selected app/scheduler, bad filter values answer 400, and NDJSON
+// streams exactly the filtered rows one JSON document per line.
+func TestResultsFiltersAndNDJSON(t *testing.T) {
+	s := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"apps":["cnn","ebay"],"trace_seeds":[1],"schedulers":["Interactive","EBS"]}`
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if fin := waitDone(t, ts.URL, st.ID); fin.Status != StatusDone {
+		t.Fatalf("campaign ended %s: %s", fin.Status, fin.Error)
+	}
+	base := ts.URL + "/v1/campaigns/" + st.ID + "/results"
+
+	fetch := func(url string) Results {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s returned %d", url, resp.StatusCode)
+		}
+		var res Results
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Unfiltered: 2 apps × 2 schedulers; tables cover the full campaign.
+	if res := fetch(base); len(res.Rows) != 4 || len(res.Tables) != 3 {
+		t.Fatalf("unfiltered: %d rows, %d tables, want 4 rows + 3 tables", len(res.Rows), len(res.Tables))
+	}
+
+	// App filter (and tables still cover the full campaign).
+	res := fetch(base + "?app=cnn")
+	if len(res.Rows) != 2 {
+		t.Fatalf("app filter: %d rows, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.App != "cnn" {
+			t.Errorf("app filter leaked row %+v", row.SessionMeta)
+		}
+	}
+	if len(res.Tables) != 3 || len(res.Tables[0].Rows) != 2 {
+		t.Errorf("filtered response must keep full-campaign tables, got %d tables", len(res.Tables))
+	}
+
+	// Combined filter, case-insensitive scheduler.
+	res = fetch(base + "?app=ebay&scheduler=ebs")
+	if len(res.Rows) != 1 || res.Rows[0].App != "ebay" || res.Rows[0].Scheduler != "EBS" {
+		t.Fatalf("combined filter rows = %+v, want one ebay/EBS row", res.Rows)
+	}
+
+	// Unknown filter values are 400s.
+	for _, q := range []string{"?app=nosuchapp", "?scheduler=nosuchsched"} {
+		resp, err := http.Get(base + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s returned %d, want 400", q, resp.StatusCode)
+		}
+	}
+
+	// NDJSON: one row per line, filter honored, streaming content type.
+	resp, err = http.Get(base + "?scheduler=Interactive&format=ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("NDJSON content type = %q", ct)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var rows []ResultRow
+	for dec.More() {
+		var row ResultRow
+		if err := dec.Decode(&row); err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("NDJSON streamed %d rows, want 2", len(rows))
+	}
+	for _, row := range rows {
+		if row.Scheduler != "Interactive" || row.Result == nil || row.Result.TotalEnergyMJ <= 0 {
+			t.Errorf("NDJSON row %+v malformed", row.SessionMeta)
+		}
+	}
+}
+
+// TestClusterModeExpandSkipsSessionConstruction asserts a coordinator-side
+// expansion produces wire specs and metadata without building runnable
+// sessions (and thus without generating any trace locally).
+func TestClusterModeExpandSkipsSessionConstruction(t *testing.T) {
+	s := testServer(t)
+	before := s.Setup().Artifacts.Stats().TraceBuilds
+	c := Campaign{Apps: []string{"twitter"}, TraceSeeds: []int64{991, 992}, Schedulers: []string{"Interactive", "PES"}}
+	plan, err := c.expand(s.Setup(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Sessions != nil {
+		t.Errorf("cluster-mode plan built %d in-process sessions, want none", len(plan.Sessions))
+	}
+	if len(plan.Specs) != 4 || len(plan.Meta) != 4 {
+		t.Fatalf("plan has %d specs / %d meta, want 4 each", len(plan.Specs), len(plan.Meta))
+	}
+	if after := s.Setup().Artifacts.Stats().TraceBuilds; after != before {
+		t.Errorf("cluster-mode expansion generated %d traces locally, want 0", after-before)
+	}
+	for i, spec := range plan.Specs {
+		m := plan.Meta[i]
+		if spec.App != m.App || spec.TraceSeed != m.TraceSeed || spec.Scheduler != m.Scheduler || spec.Platform != "Exynos5410" {
+			t.Errorf("spec %d (%+v) not aligned with meta (%+v)", i, spec, m)
+		}
+	}
+	// Validation still runs without session construction.
+	if _, err := (Campaign{Apps: []string{"nosuchapp"}}).expand(s.Setup(), false); err == nil {
+		t.Error("cluster-mode expansion accepted an unknown app")
 	}
 }

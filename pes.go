@@ -27,6 +27,7 @@ import (
 	"repro/internal/acmp"
 	"repro/internal/artifacts"
 	"repro/internal/batch"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -278,6 +279,37 @@ func NewCampaign(c Campaign, x *Experiments) (*CampaignPlan, error) { return c.E
 // workers; expose it over HTTP with its Handler method, and Close it to
 // shut down.
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Sharded multi-worker campaign execution.
+type (
+	// ClusterConfig parameterizes a campaign coordinator: worker addresses,
+	// transport, hash-ring replicas, shard timeout.
+	ClusterConfig = cluster.Config
+	// ClusterCoordinator shards campaign sessions across workers by
+	// consistent hashing on the batch memo key, retries failed shards on
+	// the remaining workers, and merges results in campaign order —
+	// byte-identical to in-process execution. Set it on
+	// ServerConfig.Cluster to shard a server's campaigns.
+	ClusterCoordinator = cluster.Coordinator
+	// ClusterWorker executes shards on its own trained harness and warm
+	// caches; serve its Handler to join a cluster.
+	ClusterWorker = cluster.Worker
+	// ClusterSession is the wire description of one session — the batch
+	// memo-key tuple a worker rebuilds the full session from.
+	ClusterSession = cluster.SessionSpec
+	// ClusterStats snapshots a coordinator's shard/retry/worker counters
+	// plus the summed remote worker cache stats.
+	ClusterStats = cluster.Stats
+)
+
+// NewClusterCoordinator builds a campaign coordinator over the configured
+// workers (every worker must run the same harness configuration as the
+// coordinating server for merged results to be byte-identical).
+func NewClusterCoordinator(cfg ClusterConfig) (*ClusterCoordinator, error) { return cluster.New(cfg) }
+
+// NewClusterWorker trains a worker harness from the experiment
+// configuration; serve its Handler over HTTP and point a coordinator at it.
+func NewClusterWorker(cfg ExperimentConfig) (*ClusterWorker, error) { return cluster.NewWorker(cfg) }
 
 // Serve runs the simulation service on addr until the process exits (see
 // cmd/pes-serve for the graceful-shutdown variant).
