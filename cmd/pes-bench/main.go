@@ -59,11 +59,16 @@ type Report struct {
 	Quick bool `json:"quick"`
 	// Seed is the solver-suite RNG seed; reports are only comparable at
 	// equal seeds.
-	Seed       int64             `json:"seed"`
-	Solver     SolverReport      `json:"solver"`
-	Sessions   []SessionReport   `json:"sessions,omitempty"`
-	Throughput *ThroughputReport `json:"throughput,omitempty"`
-	Figures    []FigureReport    `json:"figures,omitempty"`
+	Seed int64 `json:"seed"`
+	// OracleVersion is the Oracle solver version the session and throughput
+	// benchmarks ran ("v1" or "v2"). The v2 gates (per-scheduler throughput
+	// floor, zero budget aborts) apply only to v2 reports; -oracle=v1 runs
+	// reproduce the paper-exact BENCH_pr4 Oracle figures bit-identically.
+	OracleVersion string            `json:"oracle_version,omitempty"`
+	Solver        SolverReport      `json:"solver"`
+	Sessions      []SessionReport   `json:"sessions,omitempty"`
+	Throughput    *ThroughputReport `json:"throughput,omitempty"`
+	Figures       []FigureReport    `json:"figures,omitempty"`
 }
 
 // ThroughputReport is the unique-session throughput benchmark: how many
@@ -135,6 +140,14 @@ type SchedThroughput struct {
 // paths coincide); multi-core runners measure 3x and above.
 const warmColdRatioFloor = 1.4
 
+// oraclePESRatioFloor is the CI gate on the Oracle v2 throughput floor: the
+// Oracle's warm serial sessions/sec must be within this factor of the PES
+// path's (BENCH_pr4 had it 6.5x slower; the v2 fast path brings it within
+// ~3.5x). Like the warm/cold gate it is a same-host, same-process ratio, so
+// it is portable across CI hardware. v1 runs are exempt: the reference
+// solver's budget-pinned cost is the artifact the version flag preserves.
+const oraclePESRatioFloor = 5.0
+
 // SolverReport summarizes the solver microbenchmark suite: the overhauled
 // Solve versus the frozen SolveReference on identical instances.
 type SolverReport struct {
@@ -199,7 +212,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "solver-suite RNG seed (must match the baseline's)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
+	oracle := fs.String("oracle", "", "oracle solver version for the session/throughput benchmarks: v2 (default) or v1 (reproduces the BENCH_pr4 Oracle figures)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	oracleVer, err := sched.ParseOracleVersion(*oracle)
+	if err != nil {
 		return err
 	}
 	if *check && *baseline == "" {
@@ -217,15 +235,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	rep := Report{Version: "pr4", Quick: *quick, Seed: *seed}
+	rep := Report{Version: "pr6", Quick: *quick, Seed: *seed, OracleVersion: oracleVer.String()}
 	rep.Solver = benchSolver(*seed)
 	if !*solverOnly {
-		sessions, err := benchSessions(*quick)
+		sessions, err := benchSessions(*quick, oracleVer)
 		if err != nil {
 			return err
 		}
 		rep.Sessions = sessions
-		throughput, err := benchThroughput(*quick)
+		throughput, err := benchThroughput(*quick, oracleVer)
 		if err != nil {
 			return err
 		}
@@ -343,7 +361,7 @@ func benchSolver(seed int64) SolverReport {
 // benchSessions replays fixed-seed sessions under the solver-bearing
 // schedulers and reports wall time plus the solver statistics threaded
 // through engine.Result.
-func benchSessions(quick bool) ([]SessionReport, error) {
+func benchSessions(quick bool, oracleVer sched.OracleVersion) ([]SessionReport, error) {
 	type sess struct {
 		app  string
 		seed int64
@@ -375,7 +393,7 @@ func benchSessions(quick bool) ([]SessionReport, error) {
 			if schedName == "PES" {
 				policy = core.NewPES(platform, learner, spec, tr.DOMSeed, predictor.DefaultConfig())
 			} else {
-				policy = sched.NewOracle(platform, evs)
+				policy = sched.NewOracleWithVersion(platform, evs, oracleVer)
 			}
 			begun := time.Now()
 			res := engine.RunProactive(platform, s.app, evs, policy)
@@ -403,8 +421,8 @@ func benchSessions(quick bool) ([]SessionReport, error) {
 // through one pre-warmed store and runs on the batch runner. Both modes run
 // the same simulations on the same host, so their ratio is the portable
 // headline number.
-func benchThroughput(quick bool) (*ThroughputReport, error) {
-	scale := throughputScale{apps: []string{"cnn", "ebay", "espn"}, seeds: []int64{11, 5}, reps: 3}
+func benchThroughput(quick bool, oracleVer sched.OracleVersion) (*ThroughputReport, error) {
+	scale := throughputScale{apps: []string{"cnn", "ebay", "espn"}, seeds: []int64{11, 5}, reps: 3, oracle: oracleVer}
 	if !quick {
 		scale.apps = append(scale.apps, "amazon", "google", "twitter")
 		scale.seeds = append(scale.seeds, 9)
@@ -415,9 +433,10 @@ func benchThroughput(quick bool) (*ThroughputReport, error) {
 
 // throughputScale parameterizes the throughput campaign (tests shrink it).
 type throughputScale struct {
-	apps  []string
-	seeds []int64
-	reps  int
+	apps   []string
+	seeds  []int64
+	reps   int
+	oracle sched.OracleVersion
 }
 
 // benchThroughputScaled is benchThroughput at an explicit scale.
@@ -466,12 +485,13 @@ func benchThroughputScaled(scale throughputScale) (*ThroughputReport, error) {
 					sessBegun := time.Now()
 					tr := trace.Generate(specByApp[app], seed, trace.Options{})
 					sess, err := sessions.New(sessions.Spec{
-						Platform:  platform,
-						Trace:     tr,
-						Scheduler: schedName,
-						Learner:   learner,
-						Predictor: predictor.DefaultConfig(),
-						Artifacts: artifacts.NewStore(),
+						Platform:      platform,
+						Trace:         tr,
+						Scheduler:     schedName,
+						Learner:       learner,
+						Predictor:     predictor.DefaultConfig(),
+						Artifacts:     artifacts.NewStore(),
+						OracleVersion: scale.oracle,
 					})
 					if err == nil {
 						_, err = sess.Run()
@@ -510,12 +530,13 @@ func benchThroughputScaled(scale throughputScale) (*ThroughputReport, error) {
 				tr := store.Trace(specByApp[app], seed, trace.PurposeEval, trace.Options{})
 				for _, schedName := range scheds {
 					sess, err := sessions.New(sessions.Spec{
-						Platform:  platform,
-						Trace:     tr,
-						Scheduler: schedName,
-						Learner:   learner,
-						Predictor: predictor.DefaultConfig(),
-						Artifacts: store,
+						Platform:      platform,
+						Trace:         tr,
+						Scheduler:     schedName,
+						Learner:       learner,
+						Predictor:     predictor.DefaultConfig(),
+						Artifacts:     store,
+						OracleVersion: scale.oracle,
 					})
 					if err != nil {
 						return nil, nil, err
@@ -670,6 +691,41 @@ func checkBaseline(cur Report, path string, enforce bool, stderr io.Writer) erro
 	if cur.Throughput != nil && cur.Throughput.WarmColdRatio < warmColdRatioFloor {
 		failures = append(failures, fmt.Sprintf("artifact-warm/cold throughput ratio %.2f fell below the %.1fx floor",
 			cur.Throughput.WarmColdRatio, warmColdRatioFloor))
+	}
+	// The v2 fast-path gates: Oracle throughput within the PES floor, and
+	// zero budget aborts (a v2 solve that exhausts the node budget means the
+	// escalation ladder regressed). v1 reports are exempt — the reference
+	// solver's budget-pinned cost is exactly what the version flag preserves.
+	if cur.OracleVersion != "v1" {
+		if cur.Throughput != nil {
+			var oracleSPS, pesSPS float64
+			for _, st := range cur.Throughput.BySched {
+				switch st.Scheduler {
+				case "Oracle":
+					oracleSPS = st.WarmSerialSPS
+				case "PES":
+					pesSPS = st.WarmSerialSPS
+				}
+			}
+			if oracleSPS > 0 && pesSPS > 0 {
+				if ratio := pesSPS / oracleSPS; ratio > oraclePESRatioFloor {
+					failures = append(failures, fmt.Sprintf(
+						"Oracle v2 warm throughput %.0f/s is %.1fx slower than PES %.0f/s (gate: within %.0fx)",
+						oracleSPS, ratio, pesSPS, oraclePESRatioFloor))
+				}
+				fmt.Fprintf(stderr, "pes-bench: oracle v2 warm %.0f/s vs PES %.0f/s (%.1fx, gate %.0fx)\n",
+					oracleSPS, pesSPS, pesSPS/oracleSPS, oraclePESRatioFloor)
+			}
+		}
+		aborts := 0
+		for _, s := range cur.Sessions {
+			if s.Scheduler == "Oracle" {
+				aborts += s.Solver.BudgetAborts
+			}
+		}
+		if aborts > 0 {
+			failures = append(failures, fmt.Sprintf("Oracle v2 hit the node budget %d time(s); the fast path must prove its optima", aborts))
+		}
 	}
 	fmt.Fprintf(stderr, "pes-bench: nodes %d (baseline %d), node ratio %.2fx (baseline %.2fx), ns/solve %.0f (baseline %.0f, informational)\n",
 		cur.Solver.Nodes, base.Solver.Nodes, cur.Solver.NodeRatio, base.Solver.NodeRatio,

@@ -6,6 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/optimizer"
+	"repro/internal/sched"
 )
 
 // TestSolverSuiteReport runs the solver microbenchmark suite and validates
@@ -21,7 +24,7 @@ func TestSolverSuiteReport(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	if rep.Version != "pr4" || rep.Solver.Problems == 0 {
+	if rep.Version != "pr6" || rep.Solver.Problems == 0 {
 		t.Fatalf("degenerate report: %+v", rep)
 	}
 	if rep.Solver.EnergyMismatches != 0 {
@@ -56,6 +59,48 @@ func TestThroughputGate(t *testing.T) {
 	cur.Throughput = &ThroughputReport{WarmColdRatio: warmColdRatioFloor + 0.1}
 	if err := checkBaseline(cur, path, true, &errOut); err != nil {
 		t.Errorf("checkBaseline failed a warm/cold ratio above the floor: %v", err)
+	}
+}
+
+// TestOracleV2Gates exercises the v2-only gates: the Oracle-vs-PES warm
+// throughput floor and the zero-budget-aborts requirement, both exempted
+// under -oracle=v1.
+func TestOracleV2Gates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-solver-only", "-out", path}, &out, &errOut); err != nil {
+		t.Fatalf("run -out: %v", err)
+	}
+	var base Report
+	readJSON(t, path, &base)
+
+	mk := func(oracleSPS float64, aborts int, version string) Report {
+		cur := base
+		cur.OracleVersion = version
+		cur.Throughput = &ThroughputReport{
+			WarmColdRatio: warmColdRatioFloor + 1,
+			BySched: []SchedThroughput{
+				{Scheduler: "PES", WarmSerialSPS: 3000},
+				{Scheduler: "Oracle", WarmSerialSPS: oracleSPS},
+			},
+		}
+		cur.Sessions = []SessionReport{{Scheduler: "Oracle", Solver: optimizer.SolverStats{BudgetAborts: aborts}}}
+		return cur
+	}
+
+	if err := checkBaseline(mk(3000/oraclePESRatioFloor-100, 0, "v2"), path, true, &errOut); err == nil {
+		t.Error("checkBaseline passed an Oracle v2 slower than PES/5")
+	}
+	if err := checkBaseline(mk(3000/oraclePESRatioFloor+100, 0, "v2"), path, true, &errOut); err != nil {
+		t.Errorf("checkBaseline failed an Oracle v2 within the PES floor: %v", err)
+	}
+	if err := checkBaseline(mk(1000, 2, "v2"), path, true, &errOut); err == nil {
+		t.Error("checkBaseline passed a v2 report with budget aborts")
+	}
+	// v1 is exempt from both gates: its budget-pinned cost is the artifact.
+	if err := checkBaseline(mk(100, 2, "v1"), path, true, &errOut); err != nil {
+		t.Errorf("checkBaseline applied the v2 gates to a v1 report: %v", err)
 	}
 }
 
@@ -96,7 +141,7 @@ func TestCheckAgainstBaseline(t *testing.T) {
 // unique, every mode measured, and the per-scheduler breakdown covers all
 // five schedulers.
 func TestThroughputBenchmarkScaled(t *testing.T) {
-	rep, err := benchThroughputScaled(throughputScale{apps: []string{"espn"}, seeds: []int64{9}, reps: 1})
+	rep, err := benchThroughputScaled(throughputScale{apps: []string{"espn"}, seeds: []int64{9}, reps: 1, oracle: sched.DefaultOracleVersion})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +166,7 @@ func TestThroughputBenchmarkScaled(t *testing.T) {
 
 // TestSessionBenchmarkQuick covers the session suite at quick scale.
 func TestSessionBenchmarkQuick(t *testing.T) {
-	reps, err := benchSessions(true)
+	reps, err := benchSessions(true, sched.DefaultOracleVersion)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,7 +16,8 @@
 // coordinator shards campaigns across them by consistent hashing on the
 // session memo key and merges the results byte-identically to in-process
 // execution. Every process must share the harness flags (-train, -traces,
-// -seed) so the workers' trained predictors match the coordinator's.
+// -seed, -oracle) so the workers' trained predictors and solvers match the
+// coordinator's; an -oracle mismatch is rejected at shard submit.
 //
 //	pes-serve -worker -addr :9001 &
 //	pes-serve -worker -addr :9002 &
@@ -39,6 +40,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/sched"
 	"repro/internal/server"
 )
 
@@ -71,7 +73,12 @@ func parseArgs(args []string, stderr io.Writer) (serveConfig, error) {
 	cacheMax := fs.Int("cache-max-entries", 0, "LRU bound on the session memo cache and artifact store (0 = unbounded)")
 	worker := fs.Bool("worker", false, "run as a cluster worker (serve the shard API instead of the campaign API)")
 	workers := fs.String("workers", "", "comma-separated cluster worker addresses (host:port) to shard campaigns across (empty = in-process execution)")
+	oracle := fs.String("oracle", "", "oracle solver version: v2 (default, fast path) or v1 (paper-exact reference figures); cluster processes must agree")
 	if err := fs.Parse(args); err != nil {
+		return serveConfig{}, err
+	}
+	oracleVer, err := sched.ParseOracleVersion(*oracle)
+	if err != nil {
 		return serveConfig{}, err
 	}
 	if *addr == "" {
@@ -108,6 +115,7 @@ func parseArgs(args []string, stderr io.Writer) (serveConfig, error) {
 	cfg.Seed = *seed
 	cfg.Parallel = *parallel
 	cfg.CacheMaxEntries = *cacheMax
+	cfg.OracleVersion = oracleVer
 	return serveConfig{addr: *addr, jobs: *jobs, worker: *worker, workers: workerList, exp: cfg}, nil
 }
 
@@ -171,7 +179,7 @@ func serve(cfg serveConfig, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "pes-serve: training the predictor (%d traces/app)...\n", cfg.exp.TrainTracesPerApp)
 	srvCfg := server.Config{Experiments: cfg.exp, JobWorkers: cfg.jobs}
 	if len(cfg.workers) > 0 {
-		coord, err := cluster.New(cluster.Config{Workers: cfg.workers})
+		coord, err := cluster.New(cluster.Config{Workers: cfg.workers, OracleVersion: cfg.exp.OracleVersion})
 		if err != nil {
 			return err
 		}

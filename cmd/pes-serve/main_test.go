@@ -17,6 +17,8 @@ const goldenUsage = `Usage of pes-serve:
     	LRU bound on the session memo cache and artifact store (0 = unbounded)
   -jobs int
     	campaigns executed concurrently (default 2)
+  -oracle string
+    	oracle solver version: v2 (default, fast path) or v1 (paper-exact reference figures); cluster processes must agree
   -parallel int
     	simulation worker-pool size (0 = number of CPUs)
   -seed int

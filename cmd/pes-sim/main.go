@@ -20,6 +20,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/engine"
 	"repro/internal/predictor"
+	"repro/internal/sched"
 	"repro/internal/sessions"
 	"repro/internal/trace"
 	"repro/internal/webapp"
@@ -42,7 +43,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	nSessions := fs.Int("sessions", 1, "number of sessions to simulate (seeds seed..seed+N-1)")
 	parallel := fs.Int("parallel", 0, "simulation worker-pool size (0 = number of CPUs, 1 = serial)")
 	verbose := fs.Bool("v", false, "print per-event outcomes")
+	oracle := fs.String("oracle", "", "oracle solver version: v2 (default, fast path) or v1 (paper-exact reference figures)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	oracleVer, err := sched.ParseOracleVersion(*oracle)
+	if err != nil {
 		return err
 	}
 
@@ -73,11 +79,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	for i := 0; i < *nSessions; i++ {
 		tr := trace.Generate(spec, *seed+int64(i), trace.Options{})
 		sess, err := sessions.New(sessions.Spec{
-			Platform:  platform,
-			Trace:     tr,
-			Scheduler: schedName,
-			Learner:   learner,
-			Predictor: predictor.DefaultConfig(),
+			Platform:      platform,
+			Trace:         tr,
+			Scheduler:     schedName,
+			Learner:       learner,
+			Predictor:     predictor.DefaultConfig(),
+			OracleVersion: oracleVer,
 		})
 		if err != nil {
 			return err

@@ -46,6 +46,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/engine"
 	"repro/internal/predictor"
+	"repro/internal/sched"
 )
 
 // SessionSpec is the wire description of one session: the same tuple that
@@ -58,6 +59,11 @@ type SessionSpec struct {
 	TraceSeed int64            `json:"trace_seed"`
 	Scheduler string           `json:"scheduler"`
 	Predictor predictor.Config `json:"predictor"`
+	// OracleVersion is the Oracle solver version ("v1"/"v2"), set on Oracle
+	// sessions only. It participates in the route key exactly like it
+	// participates in the batch memo key, so v1 and v2 sessions never alias
+	// on the wire or in a worker's cache.
+	OracleVersion string `json:"oracle_version,omitempty"`
 }
 
 // RouteKey canonically encodes the memo-key tuple for consistent hashing.
@@ -72,13 +78,23 @@ func (s SessionSpec) RouteKey() string {
 	b.WriteString(s.Scheduler)
 	b.WriteByte('|')
 	fmt.Fprintf(&b, "ct=%g,deg=%d,dom=%t", s.Predictor.ConfidenceThreshold, s.Predictor.MaxDegree, s.Predictor.UseDOMAnalysis)
+	if s.OracleVersion != "" {
+		b.WriteString("|oracle=")
+		b.WriteString(s.OracleVersion)
+	}
 	return b.String()
 }
 
 // ShardRequest is the body of POST /v1/shards: the sessions routed to one
-// worker.
+// worker, plus the coordinator's configured oracle version so
+// coordinator/worker harness-flag agreement is validated at shard submit
+// instead of surfacing later as a golden diff.
 type ShardRequest struct {
 	Sessions []SessionSpec `json:"sessions"`
+	// OracleVersion is the coordinator process's -oracle flag ("v1"/"v2").
+	// A worker whose own flag disagrees rejects the shard with a clear
+	// error. Empty (a pre-versioning coordinator) skips the check.
+	OracleVersion string `json:"oracle_version,omitempty"`
 }
 
 // ShardResponse is a worker's answer: results index-aligned with the
@@ -129,6 +145,10 @@ type Config struct {
 	// excluded and the shard re-routed — so size it above the largest
 	// expected shard's cold (cache-miss) run time.
 	ShardTimeout time.Duration
+	// OracleVersion is this coordinator process's oracle version (zero
+	// value = default). It is stamped on every shard request; workers whose
+	// own -oracle flag disagrees reject the shard.
+	OracleVersion sched.OracleVersion
 }
 
 // Coordinator routes sessions to workers and merges their results. Safe for
@@ -289,7 +309,10 @@ func (c *Coordinator) Run(specs []SessionSpec, progress func(completed, total in
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				req := ShardRequest{Sessions: make([]SessionSpec, len(sh.indices))}
+				req := ShardRequest{
+					Sessions:      make([]SessionSpec, len(sh.indices)),
+					OracleVersion: c.cfg.OracleVersion.OrDefault().String(),
+				}
 				for k, i := range sh.indices {
 					req.Sessions[k] = specs[i]
 				}

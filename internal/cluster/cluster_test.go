@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -325,5 +326,56 @@ func TestWarmShardCacheHitsOnRepeatCampaign(t *testing.T) {
 	n := int64(len(specs))
 	if st.Remote.Sessions != 2*n || st.Remote.UniqueRuns != n || st.Remote.CacheHits != n {
 		t.Errorf("repeat campaign was not served from warm worker caches: %+v", st.Remote)
+	}
+}
+
+// TestRouteKeyIncludesOracleVersion guards the wire-aliasing invariant: two
+// specs that differ only in oracle version must have different route keys
+// (they also key different memo entries), while non-Oracle specs keep keys
+// with no oracle component at all.
+func TestRouteKeyIncludesOracleVersion(t *testing.T) {
+	base := SessionSpec{Platform: "Exynos5410", App: "cnn", TraceSeed: 1,
+		Scheduler: sessions.Oracle, Predictor: predictor.DefaultConfig()}
+	v1, v2 := base, base
+	v1.OracleVersion = "v1"
+	v2.OracleVersion = "v2"
+	if v1.RouteKey() == v2.RouteKey() {
+		t.Errorf("v1 and v2 specs alias on the wire: %q", v1.RouteKey())
+	}
+	plain := base
+	plain.Scheduler = sessions.Ondemand
+	if got := plain.RouteKey(); strings.Contains(got, "oracle") {
+		t.Errorf("non-Oracle route key grew an oracle component: %q", got)
+	}
+}
+
+// TestWorkerRejectsOracleVersionMismatch is the shard-submit agreement
+// check: a worker configured for one oracle version refuses a shard stamped
+// with the other, with an error naming both sides, and accepts a matching
+// or unstamped (legacy) shard.
+func TestWorkerRejectsOracleVersionMismatch(t *testing.T) {
+	w := newTestWorker(t) // smallConfig: oracle version defaults to v2
+	good := SessionSpec{Platform: "Exynos5410", App: "cnn", TraceSeed: 1,
+		Scheduler: sessions.Ondemand, Predictor: predictor.DefaultConfig()}
+
+	_, err := w.RunShard(ShardRequest{Sessions: []SessionSpec{good}, OracleVersion: "v1"})
+	if err == nil {
+		t.Fatal("worker accepted a shard from a v1 coordinator while running v2")
+	}
+	for _, want := range []string{"oracle version mismatch", "v1", "v2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("mismatch error %q does not mention %q", err, want)
+		}
+	}
+
+	if _, err := w.RunShard(ShardRequest{Sessions: []SessionSpec{good}, OracleVersion: "v2"}); err != nil {
+		t.Errorf("matching shard rejected: %v", err)
+	}
+	if _, err := w.RunShard(ShardRequest{Sessions: []SessionSpec{good}}); err != nil {
+		t.Errorf("unstamped legacy shard rejected: %v", err)
+	}
+
+	if _, err := w.RunShard(ShardRequest{Sessions: []SessionSpec{good}, OracleVersion: "v9"}); err == nil {
+		t.Error("worker accepted an unknown oracle version")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/acmp"
 	"repro/internal/batch"
 	"repro/internal/experiments"
+	"repro/internal/sched"
 	"repro/internal/sessions"
 	"repro/internal/trace"
 	"repro/internal/webapp"
@@ -60,14 +61,19 @@ func (w *Worker) buildSessions(specs []SessionSpec) ([]batch.Session, error) {
 		if err != nil {
 			return nil, fmt.Errorf("session %d: %w", i, err)
 		}
+		ov, err := sched.ParseOracleVersion(spec.OracleVersion)
+		if err != nil {
+			return nil, fmt.Errorf("session %d: %w", i, err)
+		}
 		tr := w.setup.Artifacts.Trace(app, spec.TraceSeed, trace.PurposeEval, trace.Options{})
 		sess, err := sessions.New(sessions.Spec{
-			Platform:  platform,
-			Trace:     tr,
-			Scheduler: spec.Scheduler,
-			Learner:   w.setup.Learner,
-			Predictor: spec.Predictor,
-			Artifacts: w.setup.Artifacts,
+			Platform:      platform,
+			Trace:         tr,
+			Scheduler:     spec.Scheduler,
+			Learner:       w.setup.Learner,
+			Predictor:     spec.Predictor,
+			Artifacts:     w.setup.Artifacts,
+			OracleVersion: ov,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("session %d: %w", i, err)
@@ -84,6 +90,17 @@ func (w *Worker) buildSessions(specs []SessionSpec) ([]batch.Session, error) {
 func (w *Worker) RunShard(req ShardRequest) (ShardResponse, error) {
 	if len(req.Sessions) == 0 {
 		return ShardResponse{}, fmt.Errorf("shard contains no sessions")
+	}
+	if req.OracleVersion != "" {
+		theirs, err := sched.ParseOracleVersion(req.OracleVersion)
+		if err != nil {
+			return ShardResponse{}, fmt.Errorf("shard oracle version: %w", err)
+		}
+		if mine := w.setup.Config.OracleVersion.OrDefault(); theirs != mine {
+			return ShardResponse{}, fmt.Errorf(
+				"oracle version mismatch: coordinator submits %s shards but this worker runs %s; restart with matching -oracle flags",
+				theirs, mine)
+		}
 	}
 	sess, err := w.buildSessions(req.Sessions)
 	if err != nil {

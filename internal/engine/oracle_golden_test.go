@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/acmp"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/webapp"
+)
+
+// oracleGolden pins the Oracle's per-version behaviour on the golden
+// sessions. The v1 rows are the paper-exact baseline: energies must match
+// the pre-refactor driver fingerprints (the `golden` table) and the solver
+// counters — node counts included — must never drift, because v1's hardest
+// 12-event windows exhaust the search budget and its figures are therefore
+// artifacts of the exact traversal, not just of the optimum. The v2 rows pin
+// the fast path: the same windows solved to proven optimality within a small
+// node count and zero budget aborts.
+var oracleGolden = []struct {
+	tag          string
+	app          string
+	seed         int64
+	v1Solves     int
+	v1Nodes      int64
+	v1Aborts     int
+	v2Solves     int
+	v2Nodes      int64
+	v2MaxNodes   int64 // tightened drift alarm on top of the exact pin
+	v1TotalMJ    float64
+	v2NoWorseEps float64
+}{
+	{tag: "cnn/11", app: "cnn", seed: 11, v1Solves: 5, v1Nodes: 408721, v1Aborts: 1,
+		v2Solves: 5, v2Nodes: 10514, v2MaxNodes: 50000, v1TotalMJ: 21553.69738},
+	{tag: "ebay/5", app: "ebay", seed: 5, v1Solves: 5, v1Nodes: 18462, v1Aborts: 0,
+		v2Solves: 5, v2Nodes: 1091, v2MaxNodes: 50000, v1TotalMJ: 25010.48101},
+	{tag: "espn/9", app: "espn", seed: 9, v1Solves: 3, v1Nodes: 119, v1Aborts: 0,
+		v2Solves: 3, v2Nodes: 5, v2MaxNodes: 50000, v1TotalMJ: 17337.69909},
+}
+
+// TestOracleV1FiguresPinned replays the golden sessions under both oracle
+// versions. v1 must stay bit-identical to the paper-exact baseline —
+// energies and solver counters — no matter how v2 evolves; v2 must complete
+// every solve within budget and never exceed v1's energy.
+func TestOracleV1FiguresPinned(t *testing.T) {
+	p := acmp.Exynos5410()
+	for _, g := range oracleGolden {
+		spec, err := webapp.ByName(g.app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := trace.Generate(spec, g.seed, trace.Options{})
+		evs, err := tr.Runtime()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		r1 := RunProactive(p, g.app, evs, sched.NewOracleWithVersion(p, evs, sched.OracleV1))
+		if !approxEq(r1.TotalEnergyMJ, g.v1TotalMJ) {
+			t.Errorf("%s v1: TotalEnergyMJ = %.10g, want %.10g", g.tag, r1.TotalEnergyMJ, g.v1TotalMJ)
+		}
+		s1 := r1.Solver
+		if s1.Solves != g.v1Solves || s1.Nodes != g.v1Nodes || s1.BudgetAborts != g.v1Aborts {
+			t.Errorf("%s v1: solver counters drifted: solves=%d nodes=%d aborts=%d, want %d/%d/%d",
+				g.tag, s1.Solves, s1.Nodes, s1.BudgetAborts, g.v1Solves, g.v1Nodes, g.v1Aborts)
+		}
+		if s1.PlanCacheHits != 0 {
+			// Real session horizons never repeat (start times advance), so a
+			// hit here would mean the v1 figures changed provenance.
+			t.Errorf("%s v1: unexpected plan cache hits: %d", g.tag, s1.PlanCacheHits)
+		}
+
+		r2 := RunProactive(p, g.app, evs, sched.NewOracleWithVersion(p, evs, sched.OracleV2))
+		s2 := r2.Solver
+		if s2.BudgetAborts != 0 {
+			t.Errorf("%s v2: %d budget aborts, want 0", g.tag, s2.BudgetAborts)
+		}
+		if s2.Solves != g.v2Solves || s2.Nodes != g.v2Nodes {
+			t.Errorf("%s v2: solver counters drifted: solves=%d nodes=%d, want %d/%d",
+				g.tag, s2.Solves, s2.Nodes, g.v2Solves, g.v2Nodes)
+		}
+		if s2.Nodes > g.v2MaxNodes {
+			t.Errorf("%s v2: %d nodes exceeds the %d drift alarm", g.tag, s2.Nodes, g.v2MaxNodes)
+		}
+		if r2.TotalEnergyMJ > r1.TotalEnergyMJ*(1+1e-12) {
+			t.Errorf("%s: v2 energy %.10g exceeds v1 %.10g — v2 must dominate the truncated baseline",
+				g.tag, r2.TotalEnergyMJ, r1.TotalEnergyMJ)
+		}
+	}
+}

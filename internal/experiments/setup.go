@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/predictor"
+	"repro/internal/sched"
 	"repro/internal/sessions"
 	"repro/internal/trace"
 	"repro/internal/webapp"
@@ -54,6 +55,10 @@ type Config struct {
 	// process-wide artifacts.Default. Tests inject private stores to get
 	// isolated counters.
 	Artifacts *artifacts.Store
+	// OracleVersion selects the Oracle solver for every Oracle session of
+	// the campaign (zero value = sched.DefaultOracleVersion). Paper-exact
+	// figures use sched.OracleV1.
+	OracleVersion sched.OracleVersion
 }
 
 // DefaultConfig returns the paper-equivalent configuration.
@@ -83,6 +88,7 @@ func (c Config) withDefaults() Config {
 	if c.Predictor.ConfidenceThreshold == 0 {
 		c.Predictor = predictor.DefaultConfig()
 	}
+	c.OracleVersion = c.OracleVersion.OrDefault()
 	return c
 }
 
@@ -163,12 +169,13 @@ func (s *Setup) runCorpus(p *acmp.Platform, name string, predCfg predictor.Confi
 	specs := make([]batch.Session, 0, len(s.Eval))
 	for _, tr := range s.Eval {
 		sess, err := sessions.New(sessions.Spec{
-			Platform:  p,
-			Trace:     tr,
-			Scheduler: name,
-			Learner:   s.Learner,
-			Predictor: predCfg,
-			Artifacts: s.Artifacts,
+			Platform:      p,
+			Trace:         tr,
+			Scheduler:     name,
+			Learner:       s.Learner,
+			Predictor:     predCfg,
+			Artifacts:     s.Artifacts,
+			OracleVersion: s.Config.OracleVersion,
 		})
 		if err != nil {
 			return nil, err

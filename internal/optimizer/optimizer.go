@@ -242,6 +242,11 @@ type SolverStats struct {
 	// PlanCacheHits counts Schedule calls answered from the plan cache
 	// without solving.
 	PlanCacheHits int `json:"plan_cache_hits"`
+	// BudgetAborts counts solves that exhausted the branch-and-bound node
+	// budget, returning a traversal artifact instead of a proven optimum.
+	// Zero on the PES path and on Oracle v2's fast-path windows; Oracle v1's
+	// hardest windows abort by design (that is what pins its figures).
+	BudgetAborts int `json:"budget_aborts"`
 	// WallNS is the wall-clock time spent inside ilp.Solve, in nanoseconds.
 	// It is a host measurement: the one non-deterministic field.
 	WallNS int64 `json:"wall_ns"`
@@ -253,6 +258,7 @@ func (s SolverStats) Add(o SolverStats) SolverStats {
 		Solves:        s.Solves + o.Solves,
 		Nodes:         s.Nodes + o.Nodes,
 		PlanCacheHits: s.PlanCacheHits + o.PlanCacheHits,
+		BudgetAborts:  s.BudgetAborts + o.BudgetAborts,
 		WallNS:        s.WallNS + o.WallNS,
 	}
 }
@@ -393,6 +399,9 @@ func (o *Optimizer) Schedule(start simtime.Time, tasks []*Task) bool {
 	o.stats.WallNS += time.Since(begun).Nanoseconds()
 	o.stats.Solves++
 	o.stats.Nodes += int64(sol.Nodes)
+	if sol.Aborted() {
+		o.stats.BudgetAborts++
+	}
 	if len(o.plans) < maxCachedPlans {
 		o.plans[string(o.keyBuf)] = cachedPlan{choice: sol.Choice, feasible: sol.Feasible}
 	}

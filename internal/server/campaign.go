@@ -15,6 +15,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/predictor"
+	"repro/internal/sched"
 	"repro/internal/sessions"
 	"repro/internal/simtime"
 	"repro/internal/stats"
@@ -43,6 +44,10 @@ type Campaign struct {
 	Predictor *PredictorSpec `json:"predictor,omitempty"`
 	// Sweep adds a sensitivity sweep on top of the base campaign.
 	Sweep *Sweep `json:"sweep,omitempty"`
+	// OracleVersion selects the Oracle solver for this campaign ("v1" or
+	// "v2"); empty uses the server's configured default. Only Oracle
+	// sessions are affected.
+	OracleVersion string `json:"oracle_version,omitempty"`
 }
 
 // PredictorSpec is the JSON form of the PES predictor configuration. Zero
@@ -70,6 +75,8 @@ type SessionMeta struct {
 	Scheduler string `json:"scheduler"`
 	// ConfidenceThreshold is set on PES sessions only.
 	ConfidenceThreshold float64 `json:"confidence_threshold,omitempty"`
+	// OracleVersion is set on Oracle sessions only ("v1"/"v2").
+	OracleVersion string `json:"oracle_version,omitempty"`
 	// Label is the scheduler presentation label; for swept PES sessions it
 	// carries the threshold (e.g. "PES@50%").
 	Label string `json:"label"`
@@ -168,6 +175,14 @@ func (c Campaign) expand(setup *experiments.Setup, buildSessions bool) (*Plan, e
 
 	baseCfg := predictorConfig(setup.Config.Predictor, c.Predictor)
 
+	oracleVer := setup.Config.OracleVersion.OrDefault()
+	if c.OracleVersion != "" {
+		oracleVer, err = sched.ParseOracleVersion(c.OracleVersion)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	// Distinct sweep thresholds beyond the base configuration, in ascending
 	// order so the expansion (and the results rows) are deterministic.
 	var sweepThresholds []float64
@@ -186,19 +201,20 @@ func (c Campaign) expand(setup *experiments.Setup, buildSessions bool) (*Plan, e
 	}
 
 	plan := &Plan{Platform: platform.Name}
-	add := func(app *webapp.Spec, seed int64, sched string, cfg predictor.Config, label string) error {
+	add := func(app *webapp.Spec, seed int64, schedName string, cfg predictor.Config, label string) error {
 		if buildSessions {
 			// The artifact store generates each (app, seed) trace exactly
 			// once per process, no matter how many schedulers, sweep
 			// points, or overlapping campaigns replay it.
 			tr := setup.Artifacts.Trace(app, seed, trace.PurposeEval, trace.Options{})
 			sess, err := sessions.New(sessions.Spec{
-				Platform:  platform,
-				Trace:     tr,
-				Scheduler: sched,
-				Learner:   setup.Learner,
-				Predictor: cfg,
-				Artifacts: setup.Artifacts,
+				Platform:      platform,
+				Trace:         tr,
+				Scheduler:     schedName,
+				Learner:       setup.Learner,
+				Predictor:     cfg,
+				Artifacts:     setup.Artifacts,
+				OracleVersion: oracleVer,
 			})
 			if err != nil {
 				return err
@@ -209,26 +225,31 @@ func (c Campaign) expand(setup *experiments.Setup, buildSessions bool) (*Plan, e
 			Platform:  platform.Name,
 			App:       app.Name,
 			TraceSeed: seed,
-			Scheduler: sched,
+			Scheduler: schedName,
 			Label:     label,
 		}
-		if sched == sessions.PES {
-			meta.ConfidenceThreshold = cfg.ConfidenceThreshold
-		}
-		plan.Meta = append(plan.Meta, meta)
-		plan.Specs = append(plan.Specs, cluster.SessionSpec{
+		spec := cluster.SessionSpec{
 			Platform:  platform.Name,
 			App:       app.Name,
 			TraceSeed: seed,
-			Scheduler: sched,
+			Scheduler: schedName,
 			Predictor: cfg,
-		})
+		}
+		if schedName == sessions.PES {
+			meta.ConfidenceThreshold = cfg.ConfidenceThreshold
+		}
+		if schedName == sessions.Oracle {
+			meta.OracleVersion = oracleVer.String()
+			spec.OracleVersion = oracleVer.String()
+		}
+		plan.Meta = append(plan.Meta, meta)
+		plan.Specs = append(plan.Specs, spec)
 		return nil
 	}
 	for _, app := range apps {
 		for _, seed := range seeds {
-			for _, sched := range scheds {
-				if err := add(app, seed, sched, baseCfg, sched); err != nil {
+			for _, name := range scheds {
+				if err := add(app, seed, name, baseCfg, name); err != nil {
 					return nil, err
 				}
 			}

@@ -96,15 +96,50 @@ func TestCampaignExpansionSweep(t *testing.T) {
 func TestCampaignValidation(t *testing.T) {
 	s := testServer(t)
 	cases := map[string]Campaign{
-		"bad platform":  {Platform: "pixel9"},
-		"bad app":       {Apps: []string{"nosuchapp"}},
-		"bad scheduler": {Schedulers: []string{"nosuchsched"}},
-		"bad threshold": {Sweep: &Sweep{ConfidenceThresholds: []float64{1.5}}},
+		"bad platform":       {Platform: "pixel9"},
+		"bad app":            {Apps: []string{"nosuchapp"}},
+		"bad scheduler":      {Schedulers: []string{"nosuchsched"}},
+		"bad threshold":      {Sweep: &Sweep{ConfidenceThresholds: []float64{1.5}}},
+		"bad oracle version": {OracleVersion: "v3"},
 	}
 	for name, c := range cases {
 		if _, err := c.Expand(s.Setup()); err == nil {
 			t.Errorf("%s: expansion succeeded, want error", name)
 		}
+	}
+}
+
+// TestCampaignOracleVersionStamping checks that the campaign-level oracle
+// version lands on Oracle sessions only — in the metadata, the wire specs,
+// and the memo keys — and that the default is the server's configured
+// version (v2 unless the process runs -oracle=v1).
+func TestCampaignOracleVersionStamping(t *testing.T) {
+	s := testServer(t)
+	c := Campaign{Apps: []string{"cnn"}, Schedulers: []string{"Oracle", "Ondemand"}, OracleVersion: "v1"}
+	plan, err := c.Expand(s.Setup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range plan.Meta {
+		spec := plan.Specs[i]
+		if m.Scheduler == sessions.Oracle {
+			if m.OracleVersion != "v1" || spec.OracleVersion != "v1" {
+				t.Errorf("Oracle session not stamped v1: meta=%q spec=%q", m.OracleVersion, spec.OracleVersion)
+			}
+			if key := plan.Sessions[i].Key; !strings.Contains(key.Variant, "oracle=v1") {
+				t.Errorf("Oracle memo key missing version: %q", key.Variant)
+			}
+		} else if m.OracleVersion != "" || spec.OracleVersion != "" {
+			t.Errorf("%s session stamped with oracle version %q/%q", m.Scheduler, m.OracleVersion, spec.OracleVersion)
+		}
+	}
+	// Default: the server's configured version (v2 here).
+	plan2, err := Campaign{Apps: []string{"cnn"}, Schedulers: []string{"Oracle"}}.Expand(s.Setup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan2.Specs[0].OracleVersion; got != "v2" {
+		t.Errorf("default oracle version on the wire = %q, want v2", got)
 	}
 }
 

@@ -62,6 +62,10 @@ type Spec struct {
 	// of the same trace share one parsed event list through it, no matter
 	// which scheduler replays them.
 	Artifacts *artifacts.Store
+	// OracleVersion selects the Oracle solver (zero value = default). It is
+	// consulted only for Oracle sessions and participates in their memo key,
+	// so v1 and v2 results never alias in caches or on the cluster wire.
+	OracleVersion sched.OracleVersion
 }
 
 // learnerIDs assigns each trained learner a stable per-process identifier
@@ -136,12 +140,17 @@ func New(s Spec) (batch.Session, error) {
 			return engine.RunReactive(p, tr.App, evs, pol), nil
 		}
 	case Oracle:
+		ov := s.OracleVersion.OrDefault()
+		if !ov.Valid() {
+			return batch.Session{}, fmt.Errorf("sessions: invalid oracle version %d", ov)
+		}
+		key.Variant += fmt.Sprintf(",oracle=%s", ov)
 		run = func() (*engine.Result, error) {
 			evs, err := store.Runtime(tr)
 			if err != nil {
 				return nil, err
 			}
-			return engine.RunProactive(p, tr.App, evs, sched.NewOracle(p, evs)), nil
+			return engine.RunProactive(p, tr.App, evs, sched.NewOracleWithVersion(p, evs, ov)), nil
 		}
 	case PES:
 		if s.Learner == nil {
