@@ -12,29 +12,39 @@
 //	curl -s 'localhost:8080/v1/campaigns/c0001/results?scheduler=PES&format=ndjson'
 //	curl -s localhost:8080/v1/figures/fig11
 //
-// The same binary scales out to a cluster: workers serve the shard API, a
-// coordinator shards campaigns across them by consistent hashing on the
-// session memo key and merges the results byte-identically to in-process
-// execution. Every process must share the harness flags (-train, -traces,
-// -seed, -oracle) so the workers' trained predictors and solvers match the
-// coordinator's; an -oracle mismatch is rejected at shard submit.
+// The same binary scales out to an elastic cluster: workers serve the shard
+// API, a coordinator shards campaigns across them by consistent hashing on
+// the session memo key and merges the results byte-identically to in-process
+// execution. Membership is dynamic — workers join by registering with the
+// coordinator (-coordinator) or through the static -workers seed, are
+// health-checked over their /healthz, can be listed and removed at
+// /v1/cluster/workers, and idle workers steal queued work from slow ones.
+// If every worker dies, the coordinator runs remaining sessions in-process
+// instead of failing the campaign. Every process must share the harness
+// flags (-train, -traces, -seed, -oracle) so the workers' trained
+// predictors and solvers match the coordinator's; an -oracle mismatch is
+// rejected at shard submit.
 //
-//	pes-serve -worker -addr :9001 &
-//	pes-serve -worker -addr :9002 &
-//	pes-serve -addr :8080 -workers localhost:9001,localhost:9002
+//	pes-serve -cluster -addr :8080 &
+//	pes-serve -worker -addr :9001 -coordinator localhost:8080 &
+//	pes-serve -worker -addr :9002 -coordinator localhost:8080 &
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -52,11 +62,23 @@ func main() {
 
 // serveConfig is the validated flag state of one invocation.
 type serveConfig struct {
-	addr    string
-	jobs    int
-	worker  bool
-	workers []string
-	exp     experiments.Config
+	addr        string
+	jobs        int
+	worker      bool
+	workers     []string
+	clusterMode bool
+	coordinator string
+	advertise   string
+	exp         experiments.Config
+}
+
+// defaultAdvertise derives the address other processes reach this worker
+// at: a bare ":port" listen address advertises localhost.
+func defaultAdvertise(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "localhost" + addr
+	}
+	return addr
 }
 
 // parseArgs parses and validates the command line; flag usage and parse
@@ -72,7 +94,10 @@ func parseArgs(args []string, stderr io.Writer) (serveConfig, error) {
 	jobs := fs.Int("jobs", 2, "campaigns executed concurrently")
 	cacheMax := fs.Int("cache-max-entries", 0, "LRU bound on the session memo cache and artifact store (0 = unbounded)")
 	worker := fs.Bool("worker", false, "run as a cluster worker (serve the shard API instead of the campaign API)")
-	workers := fs.String("workers", "", "comma-separated cluster worker addresses (host:port) to shard campaigns across (empty = in-process execution)")
+	workers := fs.String("workers", "", "comma-separated cluster worker addresses (host:port) statically seeding the membership (empty = in-process execution unless -cluster)")
+	clusterMode := fs.Bool("cluster", false, "run as a cluster coordinator even with no static -workers (workers join via -coordinator registration)")
+	coordinator := fs.String("coordinator", "", "coordinator URL this worker registers with on startup (worker mode only)")
+	advertise := fs.String("advertise", "", "address the coordinator reaches this worker at (default: derived from -addr)")
 	oracle := fs.String("oracle", "", "oracle solver version: v2 (default, fast path) or v1 (paper-exact reference figures); cluster processes must agree")
 	if err := fs.Parse(args); err != nil {
 		return serveConfig{}, err
@@ -99,6 +124,15 @@ func parseArgs(args []string, stderr io.Writer) (serveConfig, error) {
 	if *worker && *workers != "" {
 		return serveConfig{}, fmt.Errorf("-worker and -workers are mutually exclusive (a process is either a worker or a coordinator)")
 	}
+	if *worker && *clusterMode {
+		return serveConfig{}, fmt.Errorf("-worker and -cluster are mutually exclusive (a process is either a worker or a coordinator)")
+	}
+	if *coordinator != "" && !*worker {
+		return serveConfig{}, fmt.Errorf("-coordinator requires -worker (only workers register with a coordinator)")
+	}
+	if *advertise != "" && *coordinator == "" {
+		return serveConfig{}, fmt.Errorf("-advertise requires -coordinator (it is the address sent at registration)")
+	}
 	var workerList []string
 	if *workers != "" {
 		for _, w := range strings.Split(*workers, ",") {
@@ -109,6 +143,10 @@ func parseArgs(args []string, stderr io.Writer) (serveConfig, error) {
 			workerList = append(workerList, w)
 		}
 	}
+	adv := *advertise
+	if adv == "" {
+		adv = defaultAdvertise(*addr)
+	}
 	cfg := experiments.DefaultConfig()
 	cfg.EvalTracesPerApp = *traces
 	cfg.TrainTracesPerApp = *train
@@ -116,7 +154,16 @@ func parseArgs(args []string, stderr io.Writer) (serveConfig, error) {
 	cfg.Parallel = *parallel
 	cfg.CacheMaxEntries = *cacheMax
 	cfg.OracleVersion = oracleVer
-	return serveConfig{addr: *addr, jobs: *jobs, worker: *worker, workers: workerList, exp: cfg}, nil
+	return serveConfig{
+		addr:        *addr,
+		jobs:        *jobs,
+		worker:      *worker,
+		workers:     workerList,
+		clusterMode: *clusterMode,
+		coordinator: *coordinator,
+		advertise:   adv,
+		exp:         cfg,
+	}, nil
 }
 
 // run is the testable body of the command, factored like pes-sim and
@@ -153,8 +200,74 @@ func listenUntilSignal(addr string, handler http.Handler, stdout io.Writer, shut
 	return nil
 }
 
+// coordinatorURL normalizes a coordinator address to a base URL.
+func coordinatorURL(c string) string {
+	if strings.Contains(c, "://") {
+		return strings.TrimRight(c, "/")
+	}
+	return "http://" + c
+}
+
+// registerLoop announces the worker to the coordinator: immediately, then
+// periodically — registration is idempotent, so re-announcing heals both a
+// restarted coordinator and a membership entry marked unhealthy while this
+// worker was briefly unreachable. The returned stop function ends the loop
+// and deregisters (best effort).
+func registerLoop(coordinator, advertise string, stdout io.Writer) (stop func()) {
+	base := coordinatorURL(coordinator)
+	client := &http.Client{Timeout: 5 * time.Second}
+	body, _ := json.Marshal(map[string]string{"addr": advertise})
+	announce := func() bool {
+		resp, err := client.Post(base+"/v1/cluster/workers", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return resp.StatusCode == http.StatusOK
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		registered := false
+		if announce() {
+			registered = true
+			fmt.Fprintf(stdout, "pes-serve: registered %s with coordinator %s\n", advertise, coordinator)
+		}
+		ticker := time.NewTicker(15 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				if announce() && !registered {
+					registered = true
+					fmt.Fprintf(stdout, "pes-serve: registered %s with coordinator %s\n", advertise, coordinator)
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		req, err := http.NewRequest(http.MethodDelete, base+"/v1/cluster/workers?addr="+url.QueryEscape(advertise), nil)
+		if err != nil {
+			return
+		}
+		if resp, err := client.Do(req); err == nil {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		}
+	}
+}
+
 // serveWorker trains the worker harness and serves the cluster shard API on
-// cfg.addr until a signal stops it.
+// cfg.addr until a signal stops it, registering with the coordinator when
+// one is configured.
 func serveWorker(cfg serveConfig, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "pes-serve: training the predictor (%d traces/app)...\n", cfg.exp.TrainTracesPerApp)
 	w, err := cluster.NewWorker(cfg.exp)
@@ -163,7 +276,15 @@ func serveWorker(cfg serveConfig, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "pes-serve: worker listening on %s (%d simulation workers)\n",
 		cfg.addr, w.Setup().Runner.Workers())
-	if err := listenUntilSignal(cfg.addr, w.Handler(), stdout, "pes-serve: worker shutting down"); err != nil {
+	var stopReg func()
+	if cfg.coordinator != "" {
+		stopReg = registerLoop(cfg.coordinator, cfg.advertise, stdout)
+	}
+	err = listenUntilSignal(cfg.addr, w.Handler(), stdout, "pes-serve: worker shutting down")
+	if stopReg != nil {
+		stopReg()
+	}
+	if err != nil {
 		return err
 	}
 	st := w.Stats()
@@ -173,13 +294,16 @@ func serveWorker(cfg serveConfig, stdout io.Writer) error {
 }
 
 // serve trains the harness, listens on cfg.addr, and blocks until SIGINT or
-// SIGTERM triggers a graceful shutdown. With cfg.workers set, campaigns are
-// sharded across the cluster; otherwise they execute in-process.
+// SIGTERM triggers a graceful shutdown. With cfg.workers or -cluster set,
+// campaigns are sharded across the (elastic) cluster; otherwise they
+// execute in-process.
 func serve(cfg serveConfig, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "pes-serve: training the predictor (%d traces/app)...\n", cfg.exp.TrainTracesPerApp)
 	srvCfg := server.Config{Experiments: cfg.exp, JobWorkers: cfg.jobs}
-	if len(cfg.workers) > 0 {
-		coord, err := cluster.New(cluster.Config{Workers: cfg.workers, OracleVersion: cfg.exp.OracleVersion})
+	var coord *cluster.Coordinator
+	if len(cfg.workers) > 0 || cfg.clusterMode {
+		var err error
+		coord, err = cluster.New(cluster.Config{Workers: cfg.workers, OracleVersion: cfg.exp.OracleVersion})
 		if err != nil {
 			return err
 		}
@@ -187,12 +311,19 @@ func serve(cfg serveConfig, stdout io.Writer) error {
 	}
 	svc, err := server.New(srvCfg)
 	if err != nil {
+		if coord != nil {
+			coord.Close()
+		}
 		return err
 	}
 
-	if len(cfg.workers) > 0 {
-		fmt.Fprintf(stdout, "pes-serve: listening on %s (%d cluster workers: %s; %d campaign workers)\n",
-			cfg.addr, len(cfg.workers), strings.Join(cfg.workers, ", "), cfg.jobs)
+	if coord != nil {
+		seed := "none"
+		if len(cfg.workers) > 0 {
+			seed = strings.Join(cfg.workers, ", ")
+		}
+		fmt.Fprintf(stdout, "pes-serve: coordinator listening on %s (static workers: %s; registration at /v1/cluster/workers; %d campaign workers)\n",
+			cfg.addr, seed, cfg.jobs)
 	} else {
 		fmt.Fprintf(stdout, "pes-serve: listening on %s (%d simulation workers, %d campaign workers)\n",
 			cfg.addr, svc.Setup().Runner.Workers(), cfg.jobs)
@@ -200,6 +331,9 @@ func serve(cfg serveConfig, stdout io.Writer) error {
 	err = listenUntilSignal(cfg.addr, svc.Handler(), stdout,
 		"pes-serve: shutting down (queued campaigns are canceled, running ones finish)")
 	svc.Close()
+	if coord != nil {
+		coord.Close()
+	}
 	if err != nil {
 		return err
 	}

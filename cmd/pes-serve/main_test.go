@@ -13,8 +13,14 @@ import (
 const goldenUsage = `Usage of pes-serve:
   -addr string
     	listen address (default ":8080")
+  -advertise string
+    	address the coordinator reaches this worker at (default: derived from -addr)
   -cache-max-entries int
     	LRU bound on the session memo cache and artifact store (0 = unbounded)
+  -cluster
+    	run as a cluster coordinator even with no static -workers (workers join via -coordinator registration)
+  -coordinator string
+    	coordinator URL this worker registers with on startup (worker mode only)
   -jobs int
     	campaigns executed concurrently (default 2)
   -oracle string
@@ -30,7 +36,7 @@ const goldenUsage = `Usage of pes-serve:
   -worker
     	run as a cluster worker (serve the shard API instead of the campaign API)
   -workers string
-    	comma-separated cluster worker addresses (host:port) to shard campaigns across (empty = in-process execution)
+    	comma-separated cluster worker addresses (host:port) statically seeding the membership (empty = in-process execution unless -cluster)
 `
 
 func TestRunGoldenUsage(t *testing.T) {
@@ -61,6 +67,9 @@ func TestParseArgsValidation(t *testing.T) {
 		{"zero jobs", []string{"-jobs", "0"}, "-jobs"},
 		{"negative cache bound", []string{"-cache-max-entries", "-1"}, "-cache-max-entries"},
 		{"worker and workers", []string{"-worker", "-workers", "localhost:9001"}, "mutually exclusive"},
+		{"worker and cluster", []string{"-worker", "-cluster"}, "mutually exclusive"},
+		{"coordinator without worker", []string{"-coordinator", "localhost:8080"}, "-coordinator requires -worker"},
+		{"advertise without coordinator", []string{"-worker", "-advertise", "localhost:9001"}, "-advertise requires -coordinator"},
 		{"empty worker address", []string{"-workers", "localhost:9001,,localhost:9002"}, "empty address"},
 	}
 	for _, c := range cases {
@@ -110,5 +119,25 @@ func TestParseArgsClusterModes(t *testing.T) {
 	}
 	if !cfg.worker || cfg.addr != ":9001" {
 		t.Errorf("worker mode not parsed: %+v", cfg)
+	}
+	// A bare ":port" listen address advertises localhost by default; an
+	// explicit -advertise wins.
+	if cfg.advertise != "localhost:9001" {
+		t.Errorf("derived advertise = %q, want localhost:9001", cfg.advertise)
+	}
+	cfg, err = parseArgs([]string{"-worker", "-addr", ":9001", "-coordinator", "localhost:8080", "-advertise", "10.0.0.7:9001"}, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.coordinator != "localhost:8080" || cfg.advertise != "10.0.0.7:9001" {
+		t.Errorf("registration flags not parsed: %+v", cfg)
+	}
+	// Coordinator mode with no static seed.
+	cfg, err = parseArgs([]string{"-cluster"}, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.clusterMode || len(cfg.workers) != 0 {
+		t.Errorf("cluster mode not parsed: %+v", cfg)
 	}
 }

@@ -19,24 +19,43 @@
 //     (app, seed) pair cluster on few workers, keeping each worker's
 //     artifact cache (traces, runtime events, fingerprints) warm too.
 //
-// Partial failure is handled by rerouting: when a worker fails a shard
-// (transport error or malformed response), the worker is excluded for the
-// rest of the run and the shard's sessions are re-routed through the ring
-// across the remaining workers. A per-session simulation error reported by
-// a healthy worker is not retried — simulation is deterministic, so it
-// would fail identically anywhere — and surfaces like the in-process
-// runner's first error.
+// The cluster is elastic. Membership is dynamic: Config.Workers only seeds
+// the set, workers join and leave at runtime through Register/Deregister,
+// and every member is health-checked against its /healthz endpoint; the
+// consistent ring rebalances live as the healthy set changes. Within a run,
+// each worker is fed its ring-owned sessions in bounded chunks, and a
+// worker that drains its own queue steals half of the longest remaining
+// queue — so one slow shard (the Oracle tail) cannot stall the campaign
+// behind an otherwise idle cluster. When no live worker remains, the
+// coordinator spills the remaining sessions over to a local in-process
+// worker instead of failing the campaign.
+//
+// Failures are split by fault domain, because the two kinds must be treated
+// oppositely:
+//
+//   - Client fault (HTTP 4xx: invalid session spec, oracle-version skew).
+//     Deterministic — every worker would reject it identically — so the
+//     campaign fails immediately with the rejection and no worker is
+//     excluded. Treating these as worker failures would cascade the same
+//     rejection across the ring and poison every member for the run.
+//   - Worker fault (transport error, 5xx, malformed or short response).
+//     The worker is excluded for the rest of the run, marked unhealthy in
+//     the membership (probes heal it when it recovers), and its sessions
+//     are re-routed across the remaining workers.
+//   - Session error (a deterministic simulation error reported by a healthy
+//     worker). Not retried — it would fail identically anywhere — and
+//     surfaced like the in-process runner's first error, with every other
+//     session still completing.
 package cluster
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"net/http"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -107,33 +126,88 @@ type ShardResponse struct {
 	Stats   batch.Stats      `json:"stats"`
 }
 
+// ClientFaultError is a shard rejection that is the campaign's fault — an
+// invalid session spec, an oracle-version skew, malformed shard JSON — not
+// the worker's. The rejection is deterministic: every worker would answer
+// it identically, so the dispatcher fails the campaign immediately and
+// excludes nobody instead of cascading the same 4xx across the ring.
+type ClientFaultError struct {
+	// Worker is the address that rejected the shard.
+	Worker string
+	// Status is the HTTP status code (4xx).
+	Status int
+	// Msg is the worker's error message.
+	Msg string
+}
+
+func (e *ClientFaultError) Error() string {
+	return fmt.Sprintf("cluster: worker %s rejected the shard (HTTP %d): %s", e.Worker, e.Status, e.Msg)
+}
+
+// IsClientFault reports whether err marks a deterministic client-fault
+// shard rejection (see ClientFaultError) anywhere in its chain.
+func IsClientFault(err error) bool {
+	var cf *ClientFaultError
+	return errors.As(err, &cf)
+}
+
 // Transport executes one shard on one worker. Implementations must be safe
-// for concurrent use; an error return means the worker (not a session)
-// failed and the shard will be retried elsewhere.
+// for concurrent use. An error return that satisfies IsClientFault fails
+// the whole campaign immediately (deterministic rejection, nobody
+// excluded); any other error means the worker failed and its sessions are
+// re-routed. Transports that also implement Pinger get coordinator health
+// probes.
 type Transport interface {
 	RunShard(ctx context.Context, worker string, req ShardRequest) (ShardResponse, error)
 }
 
+// Pinger is the optional health-probe side of a Transport. The coordinator
+// heartbeat loop probes every member through it; transports that do not
+// implement it (test fakes) skip health checking entirely.
+type Pinger interface {
+	Ping(ctx context.Context, worker string) error
+}
+
 // Stats snapshots a coordinator's counters.
 type Stats struct {
-	// Workers is the configured worker count.
+	// Workers is the current healthy member count.
 	Workers int `json:"workers"`
-	// Shards counts shard dispatches (including retried dispatches);
-	// SessionsRouted counts the sessions inside them.
+	// Members lists every member (healthy or not) with its source.
+	Members []Member `json:"members,omitempty"`
+	// Shards counts shard dispatches (including re-dispatches after a
+	// worker failure); SessionsRouted counts the sessions inside them.
 	Shards         int64 `json:"shards"`
 	SessionsRouted int64 `json:"sessions_routed"`
-	// Retries counts shards re-routed to another worker after a failure;
+	// Retries counts redistribution events after a worker failure;
 	// WorkerFailures counts the failed dispatches that caused them.
 	Retries        int64 `json:"retries"`
 	WorkerFailures int64 `json:"worker_failures"`
-	// Remote sums the latest runner-stats snapshot reported by each worker:
-	// cache hits here are sessions a worker served from its warm memo cache.
+	// Steals counts dispatches an idle worker stole from the longest
+	// remaining queue; SessionsStolen counts the sessions inside them.
+	Steals         int64 `json:"steals"`
+	SessionsStolen int64 `json:"sessions_stolen"`
+	// SpillOvers counts the times sessions fell back to local in-process
+	// execution because no live worker remained; SessionsSpilled counts the
+	// sessions executed that way. Local executions are not counted in
+	// Shards/SessionsRouted.
+	SpillOvers      int64 `json:"spill_overs"`
+	SessionsSpilled int64 `json:"sessions_spilled"`
+	// ClientFaults counts campaigns rejected for a deterministic client
+	// fault (4xx): the campaign fails, no worker is excluded.
+	ClientFaults int64 `json:"client_faults"`
+	// Remote sums the latest runner-stats snapshot reported by each
+	// currently healthy member: cache hits here are sessions a worker
+	// served from its warm memo cache. Snapshots of excluded, unhealthy, or
+	// departed members are dropped, not summed — a dead worker's stale
+	// counters must not inflate the cluster's cache totals.
 	Remote batch.Stats `json:"remote"`
 }
 
 // Config parameterizes a coordinator.
 type Config struct {
-	// Workers lists the worker addresses ("host:port" or a full URL).
+	// Workers statically seeds the membership ("host:port" or a full URL
+	// per entry). It may be empty: workers can join at runtime through
+	// Register (the -coordinator flag on pes-serve workers).
 	Workers []string
 	// Transport overrides the shard transport; nil selects HTTP.
 	Transport Transport
@@ -143,44 +217,67 @@ type Config struct {
 	// ShardTimeout bounds one shard execution (default 10 minutes). A
 	// shard that exceeds it counts as a worker failure — the worker is
 	// excluded and the shard re-routed — so size it above the largest
-	// expected shard's cold (cache-miss) run time.
+	// expected chunk's cold (cache-miss) run time.
 	ShardTimeout time.Duration
 	// OracleVersion is this coordinator process's oracle version (zero
 	// value = default). It is stamped on every shard request; workers whose
 	// own -oracle flag disagrees reject the shard.
 	OracleVersion sched.OracleVersion
+	// MaxShardSessions caps the sessions per dispatched chunk (default 16).
+	// A worker is fed its queue in chunks of up to this cap; smaller chunks
+	// leave more queue behind for idle workers to steal and shrink the work
+	// lost to a worker fault, larger chunks amortize transport overhead and
+	// preserve session→worker cache affinity.
+	MaxShardSessions int
+	// HeartbeatInterval is the period of the membership health-check loop
+	// (default 3s; negative disables). Probes run only when the transport
+	// implements Pinger.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout bounds one health probe (default 2s).
+	HeartbeatTimeout time.Duration
+	// HeartbeatFailures is the number of consecutive failed probes that
+	// mark a member unhealthy (default 3). A single passing probe heals it.
+	HeartbeatFailures int
+	// Local optionally supplies the in-process spill-over worker: when the
+	// live worker set empties (none configured yet, or every member failed),
+	// remaining sessions execute on it instead of failing the campaign.
+	// server.New wires the service's own harness here automatically.
+	Local *Worker
 }
 
 // Coordinator routes sessions to workers and merges their results. Safe for
-// concurrent use; one coordinator serves every campaign of a server.
+// concurrent use; one coordinator serves every campaign of a server. Close
+// stops the health-check loop.
 type Coordinator struct {
 	cfg       Config
-	ring      *ring
 	transport Transport
+	members   *membership
 
-	shards         atomic.Int64
-	sessionsRouted atomic.Int64
-	retries        atomic.Int64
-	workerFailures atomic.Int64
+	shards          atomic.Int64
+	sessionsRouted  atomic.Int64
+	retries         atomic.Int64
+	workerFailures  atomic.Int64
+	steals          atomic.Int64
+	sessionsStolen  atomic.Int64
+	spillOvers      atomic.Int64
+	sessionsSpilled atomic.Int64
+	clientFaults    atomic.Int64
 
 	mu          sync.Mutex
+	local       *Worker
 	workerStats map[string]batch.Stats // latest snapshot per worker
+
+	hbStop    chan struct{}
+	hbDone    chan struct{}
+	closeOnce sync.Once
 }
 
-// New builds a coordinator over the configured workers.
+// New builds a coordinator. The static worker seed may be empty — workers
+// can join later through Register — in which case campaigns spill over to
+// the local worker until the first member joins.
 func New(cfg Config) (*Coordinator, error) {
-	if len(cfg.Workers) == 0 {
-		return nil, fmt.Errorf("cluster: no workers configured")
-	}
-	seen := map[string]bool{}
-	for _, w := range cfg.Workers {
-		if strings.TrimSpace(w) == "" {
-			return nil, fmt.Errorf("cluster: empty worker address")
-		}
-		if seen[w] {
-			return nil, fmt.Errorf("cluster: duplicate worker address %q", w)
-		}
-		seen[w] = true
+	if err := validateSeed(cfg.Workers); err != nil {
+		return nil, err
 	}
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 64
@@ -188,32 +285,167 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.ShardTimeout <= 0 {
 		cfg.ShardTimeout = 10 * time.Minute
 	}
+	if cfg.MaxShardSessions <= 0 {
+		cfg.MaxShardSessions = 16
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 3 * time.Second
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 2 * time.Second
+	}
+	if cfg.HeartbeatFailures <= 0 {
+		cfg.HeartbeatFailures = 3
+	}
 	t := cfg.Transport
 	if t == nil {
 		t = &httpTransport{client: &http.Client{}}
 	}
-	return &Coordinator{
+	c := &Coordinator{
 		cfg:         cfg,
-		ring:        newRing(cfg.Workers, cfg.Replicas),
 		transport:   t,
+		members:     newMembership(cfg.Workers, cfg.Replicas),
+		local:       cfg.Local,
 		workerStats: make(map[string]batch.Stats),
-	}, nil
+		hbStop:      make(chan struct{}),
+		hbDone:      make(chan struct{}),
+	}
+	if p, ok := t.(Pinger); ok && cfg.HeartbeatInterval > 0 {
+		go c.heartbeat(p)
+	} else {
+		close(c.hbDone)
+	}
+	return c, nil
 }
 
-// Workers returns the configured worker addresses.
-func (c *Coordinator) Workers() []string { return c.cfg.Workers }
+// Close stops the membership health-check loop. Idempotent; in-flight runs
+// are unaffected (they finish on the membership as last probed).
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() { close(c.hbStop) })
+	<-c.hbDone
+}
+
+// heartbeat probes every member's /healthz on a fixed period, healing
+// members whose probes pass and marking members unhealthy after
+// HeartbeatFailures consecutive failures. Membership changes rebuild the
+// ring and wake in-flight runs.
+func (c *Coordinator) heartbeat(p Pinger) {
+	defer close(c.hbDone)
+	ticker := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-ticker.C:
+		}
+		for _, addr := range c.members.addrs() {
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HeartbeatTimeout)
+			err := p.Ping(ctx, addr)
+			cancel()
+			if err != nil {
+				if c.members.probe(addr, false, c.cfg.HeartbeatFailures) {
+					c.dropStats(addr)
+				}
+			} else {
+				c.members.probe(addr, true, c.cfg.HeartbeatFailures)
+			}
+		}
+	}
+}
+
+// Register adds a worker to the live membership (or heals an existing
+// member). The ring rebalances immediately and in-flight campaigns start
+// stealing work for the new member.
+func (c *Coordinator) Register(addr string) error {
+	addr = strings.TrimSpace(addr)
+	if addr == "" {
+		return fmt.Errorf("cluster: empty worker address")
+	}
+	c.members.register(addr, SourceRegistered)
+	return nil
+}
+
+// Deregister removes a worker from the membership entirely and drops its
+// stats snapshot; reports whether the worker was a member. In-flight
+// dispatches to it are not interrupted (their failure, if any, is handled
+// like any worker fault).
+func (c *Coordinator) Deregister(addr string) bool {
+	if !c.members.deregister(addr) {
+		return false
+	}
+	c.dropStats(addr)
+	return true
+}
+
+// Members returns a snapshot (copies) of every member's state.
+func (c *Coordinator) Members() []Member { return c.members.snapshot() }
+
+// Workers returns a copy of the current member addresses, sorted. Mutating
+// the returned slice does not affect routing.
+func (c *Coordinator) Workers() []string { return c.members.addrs() }
+
+// SetLocal installs the in-process spill-over worker (see Config.Local).
+func (c *Coordinator) SetLocal(w *Worker) {
+	c.mu.Lock()
+	c.local = w
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) localWorker() *Worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.local
+}
+
+// noteWorkerFault marks a member unhealthy after a dispatch-level failure
+// and drops its stats snapshot.
+func (c *Coordinator) noteWorkerFault(addr string) {
+	c.members.fault(addr)
+	c.dropStats(addr)
+}
+
+func (c *Coordinator) setWorkerStats(addr string, st batch.Stats) {
+	c.mu.Lock()
+	c.workerStats[addr] = st
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) dropStats(addr string) {
+	c.mu.Lock()
+	delete(c.workerStats, addr)
+	c.mu.Unlock()
+}
 
 // Stats returns a snapshot of the coordinator's counters.
 func (c *Coordinator) Stats() Stats {
+	members := c.members.snapshot()
 	st := Stats{
-		Workers:        len(c.cfg.Workers),
-		Shards:         c.shards.Load(),
-		SessionsRouted: c.sessionsRouted.Load(),
-		Retries:        c.retries.Load(),
-		WorkerFailures: c.workerFailures.Load(),
+		Members:         members,
+		Shards:          c.shards.Load(),
+		SessionsRouted:  c.sessionsRouted.Load(),
+		Retries:         c.retries.Load(),
+		WorkerFailures:  c.workerFailures.Load(),
+		Steals:          c.steals.Load(),
+		SessionsStolen:  c.sessionsStolen.Load(),
+		SpillOvers:      c.spillOvers.Load(),
+		SessionsSpilled: c.sessionsSpilled.Load(),
+		ClientFaults:    c.clientFaults.Load(),
+	}
+	healthy := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m.Healthy {
+			healthy[m.Addr] = true
+			st.Workers++
+		}
 	}
 	c.mu.Lock()
-	for _, ws := range c.workerStats {
+	for addr, ws := range c.workerStats {
+		if !healthy[addr] {
+			// Excluded or departed members' last snapshots must not inflate
+			// the live totals.
+			continue
+		}
 		st.Remote.Sessions += ws.Sessions
 		st.Remote.UniqueRuns += ws.UniqueRuns
 		st.Remote.CacheHits += ws.CacheHits
@@ -225,204 +457,381 @@ func (c *Coordinator) Stats() Stats {
 	return st
 }
 
-// shard is one dispatch unit: the worker it is routed to and the original
-// indices of its sessions.
-type shard struct {
-	worker  int
-	indices []int
+// run is the in-flight state of one Coordinator.Run call: per-member work
+// queues fed in bounded chunks, a runner goroutine per member that steals
+// from the longest queue when its own drains, and a local spill-over lane
+// for sessions no live member can take.
+type run struct {
+	c     *Coordinator
+	specs []SessionSpec
+	out   []*engine.Result
+	total int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	progress  func(completed, total int)
+	completed atomic.Int64
+
+	mu            sync.Mutex
+	cond          *sync.Cond
+	queues        map[string][]int // pending original indices per member
+	localQueue    []int
+	runners       map[string]bool
+	localOn       bool
+	excluded      map[string]bool // members failed this run
+	inflight      int
+	resolved      int
+	done          bool
+	fatalErr      error
+	sessErr       error
+	lastWorkerErr error
+	wg            sync.WaitGroup
 }
 
-// route groups the pending session indices into shards by ring ownership,
-// skipping excluded workers. Shards come back in worker order so dispatch
-// is deterministic.
-func (c *Coordinator) route(specs []SessionSpec, pending []int, excluded map[int]bool) []shard {
-	byWorker := make(map[int][]int)
-	for _, i := range pending {
-		w, ok := c.ring.owner(specs[i].RouteKey(), excluded)
-		if !ok {
-			return nil
-		}
-		byWorker[w] = append(byWorker[w], i)
-	}
-	workers := make([]int, 0, len(byWorker))
-	for w := range byWorker {
-		workers = append(workers, w)
-	}
-	sort.Ints(workers)
-	out := make([]shard, 0, len(workers))
-	for _, w := range workers {
-		out = append(out, shard{worker: w, indices: byWorker[w]})
-	}
-	return out
-}
-
-// Run executes the sessions across the workers and returns the results
+// Run executes the sessions across the cluster and returns the results
 // index-aligned with the input — the same contract as the in-process batch
 // runner: on a session error the first error is returned and the
 // corresponding entries are nil, while every other session still completes.
 // progress (may be nil) is called once per resolved session, possibly from
-// several goroutines. A worker failure excludes that worker for the rest of
-// the run and re-routes its shard; Run fails only when every worker has
-// failed.
+// several goroutines.
+//
+// A worker fault excludes that worker for the rest of the run and re-routes
+// its sessions; a client fault (deterministic 4xx rejection) fails the
+// campaign immediately and excludes nobody; when no live worker remains the
+// remaining sessions spill over to the local worker, and Run fails only
+// when none is configured.
 func (c *Coordinator) Run(specs []SessionSpec, progress func(completed, total int)) ([]*engine.Result, error) {
 	out := make([]*engine.Result, len(specs))
-	total := len(specs)
-	var completed atomic.Int64
-	note := func(n int) {
-		if progress == nil {
+	if len(specs) == 0 {
+		return out, nil
+	}
+	r := &run{
+		c:        c,
+		specs:    specs,
+		out:      out,
+		total:    len(specs),
+		progress: progress,
+		queues:   make(map[string][]int),
+		runners:  make(map[string]bool),
+		excluded: make(map[string]bool),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	defer r.cancel()
+
+	all := make([]int, len(specs))
+	for i := range all {
+		all[i] = i
+	}
+	r.mu.Lock()
+	r.assignLocked(all)
+	// Idle members get runners too, so they can steal immediately.
+	for _, addr := range c.members.healthy() {
+		r.ensureRunnerLocked(addr)
+	}
+	r.mu.Unlock()
+
+	go r.watchMembership()
+
+	r.mu.Lock()
+	for r.fatalErr == nil && r.resolved < r.total {
+		r.cond.Wait()
+	}
+	r.done = true
+	err := r.fatalErr
+	r.cancel()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+
+	r.wg.Wait()
+	if err != nil {
+		return out, err
+	}
+	r.mu.Lock()
+	sessErr := r.sessErr
+	r.mu.Unlock()
+	return out, sessErr
+}
+
+// note reports n resolved sessions to the progress callback (outside r.mu —
+// the callback may call back into the coordinator).
+func (r *run) note(n int) {
+	if r.progress == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		r.progress(int(r.completed.Add(1)), r.total)
+	}
+}
+
+// assignLocked routes indices to the healthy, non-excluded members by ring
+// ownership, spilling to the local lane those no member can take. Caller
+// holds r.mu.
+func (r *run) assignLocked(indices []int) {
+	var spill []int
+	for _, i := range indices {
+		addr, ok := r.c.members.owner(r.specs[i].RouteKey(), r.excluded)
+		if !ok {
+			spill = append(spill, i)
+			continue
+		}
+		r.queues[addr] = append(r.queues[addr], i)
+		r.ensureRunnerLocked(addr)
+	}
+	if len(spill) > 0 {
+		r.spillLocked(spill)
+	}
+	r.cond.Broadcast()
+}
+
+// spillLocked hands indices to the local in-process worker — the graceful
+// degradation path when the live worker set is empty. Caller holds r.mu.
+func (r *run) spillLocked(indices []int) {
+	if r.c.localWorker() == nil {
+		if r.fatalErr == nil {
+			if r.lastWorkerErr != nil {
+				r.fatalErr = fmt.Errorf("cluster: no live workers remain and no local spill-over is configured (last worker error: %w)", r.lastWorkerErr)
+			} else {
+				r.fatalErr = fmt.Errorf("cluster: no live workers and no local spill-over configured")
+			}
+			r.cancel()
+		}
+		return
+	}
+	r.localQueue = append(r.localQueue, indices...)
+	r.c.spillOvers.Add(1)
+	r.c.sessionsSpilled.Add(int64(len(indices)))
+	if !r.localOn {
+		r.localOn = true
+		r.wg.Add(1)
+		go r.localRunner()
+	}
+}
+
+// ensureRunnerLocked starts the member's runner goroutine once. Caller
+// holds r.mu.
+func (r *run) ensureRunnerLocked(addr string) {
+	if r.runners[addr] || r.excluded[addr] || r.done || r.fatalErr != nil {
+		return
+	}
+	r.runners[addr] = true
+	r.wg.Add(1)
+	go r.runner(addr)
+}
+
+// watchMembership starts runners for members that join mid-run, so a fresh
+// worker immediately begins stealing queued work.
+func (r *run) watchMembership() {
+	for {
+		ch := r.c.members.watchCh()
+		r.mu.Lock()
+		if r.done || r.fatalErr != nil {
+			r.mu.Unlock()
 			return
 		}
-		for i := 0; i < n; i++ {
-			progress(int(completed.Add(1)), total)
+		for _, addr := range r.c.members.healthy() {
+			r.ensureRunnerLocked(addr)
+		}
+		r.mu.Unlock()
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-ch:
 		}
 	}
+}
 
-	excluded := make(map[int]bool)
-	pending := make([]int, len(specs))
-	for i := range specs {
-		pending[i] = i
+// chunkLocked takes the member's next dispatch: its own queue from the head
+// (up to the chunk cap), or — when its queue is empty — half of the longest
+// other queue from the tail (a steal). Own-queue chunks take everything up
+// to the cap rather than a fraction, so a balanced cluster dispatches each
+// member's sessions in one shard and steals nothing: session→worker
+// affinity (and the warm memo caches it buys on repeat campaigns) is only
+// traded away when a queue actually outlives an idle worker. Caller holds
+// r.mu.
+func (r *run) chunkLocked(addr string) (indices []int, stolen bool) {
+	limit := r.c.cfg.MaxShardSessions
+	if q := r.queues[addr]; len(q) > 0 {
+		n := len(q)
+		if n > limit {
+			n = limit
+		}
+		indices = append([]int(nil), q[:n]...)
+		r.queues[addr] = q[n:]
+		return indices, false
 	}
-	var firstErr error
-	var lastWorkerErr error
-	retrying := false
-	for len(pending) > 0 {
-		shards := c.route(specs, pending, excluded)
-		if len(shards) == 0 {
-			// Surface the cause, not just the count: a deterministic
-			// rejection (bad spec, coordinator/worker version skew) fails
-			// every worker identically and would otherwise be
-			// indistinguishable from an outage.
-			return out, fmt.Errorf("cluster: all %d workers failed (last error: %w)", len(c.cfg.Workers), lastWorkerErr)
+	victim, longest := "", 0
+	for a, q := range r.queues {
+		if a != addr && len(q) > longest {
+			victim, longest = a, len(q)
 		}
-		if retrying {
-			c.retries.Add(int64(len(shards)))
-		}
+	}
+	if victim == "" {
+		return nil, false
+	}
+	n := (longest + 1) / 2
+	if n > limit {
+		n = limit
+	}
+	q := r.queues[victim]
+	indices = append([]int(nil), q[len(q)-n:]...)
+	r.queues[victim] = q[:len(q)-n]
+	return indices, true
+}
 
-		type shardOutcome struct {
-			shard shard
-			resp  ShardResponse
-			err   error
-		}
-		outcomes := make([]shardOutcome, len(shards))
-		var wg sync.WaitGroup
-		for si, sh := range shards {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				req := ShardRequest{
-					Sessions:      make([]SessionSpec, len(sh.indices)),
-					OracleVersion: c.cfg.OracleVersion.OrDefault().String(),
-				}
-				for k, i := range sh.indices {
-					req.Sessions[k] = specs[i]
-				}
-				c.shards.Add(1)
-				c.sessionsRouted.Add(int64(len(sh.indices)))
-				ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ShardTimeout)
-				defer cancel()
-				resp, err := c.transport.RunShard(ctx, c.cfg.Workers[sh.worker], req)
-				if err == nil && len(resp.Results) != len(sh.indices) {
-					err = fmt.Errorf("cluster: worker %s returned %d results for %d sessions",
-						c.cfg.Workers[sh.worker], len(resp.Results), len(sh.indices))
-				}
-				outcomes[si] = shardOutcome{shard: sh, resp: resp, err: err}
-			}()
-		}
-		wg.Wait()
-
-		var next []int
-		for _, oc := range outcomes {
-			if oc.err != nil {
-				c.workerFailures.Add(1)
-				excluded[oc.shard.worker] = true
-				lastWorkerErr = oc.err
-				next = append(next, oc.shard.indices...)
-				continue
+// runner is one member's dispatch loop: chunks of its own queue, then
+// steals, until the run completes, a fatal error lands, or the member
+// fails.
+func (r *run) runner(addr string) {
+	defer r.wg.Done()
+	for {
+		r.mu.Lock()
+		var chunk []int
+		var stolen bool
+		for {
+			if r.done || r.fatalErr != nil || r.excluded[addr] {
+				r.mu.Unlock()
+				return
 			}
-			for k, i := range oc.shard.indices {
-				out[i] = oc.resp.Results[k]
+			chunk, stolen = r.chunkLocked(addr)
+			if chunk != nil {
+				break
 			}
-			if oc.resp.Error != "" && firstErr == nil {
-				firstErr = fmt.Errorf("cluster: worker %s: %s", c.cfg.Workers[oc.shard.worker], oc.resp.Error)
+			r.cond.Wait()
+		}
+		r.inflight++
+		r.mu.Unlock()
+
+		if stolen {
+			r.c.steals.Add(1)
+			r.c.sessionsStolen.Add(int64(len(chunk)))
+		}
+		r.c.shards.Add(1)
+		r.c.sessionsRouted.Add(int64(len(chunk)))
+		req := ShardRequest{
+			Sessions:      make([]SessionSpec, len(chunk)),
+			OracleVersion: r.c.cfg.OracleVersion.OrDefault().String(),
+		}
+		for k, i := range chunk {
+			req.Sessions[k] = r.specs[i]
+		}
+		ctx, cancel := context.WithTimeout(r.ctx, r.c.cfg.ShardTimeout)
+		resp, err := r.c.transport.RunShard(ctx, addr, req)
+		cancel()
+		if err == nil && len(resp.Results) != len(chunk) {
+			err = fmt.Errorf("cluster: worker %s returned %d results for %d sessions", addr, len(resp.Results), len(chunk))
+		}
+
+		r.mu.Lock()
+		r.inflight--
+		if err != nil {
+			if r.ctx.Err() != nil {
+				// The run is over (done or fatal); the abort is ours.
+				r.cond.Broadcast()
+				r.mu.Unlock()
+				return
 			}
-			c.mu.Lock()
-			c.workerStats[c.cfg.Workers[oc.shard.worker]] = oc.resp.Stats
-			c.mu.Unlock()
-			note(len(oc.shard.indices))
+			if IsClientFault(err) {
+				// Deterministic rejection: every worker answers identically.
+				// Fail the campaign now and exclude nobody — re-routing
+				// would only cascade the same 4xx around the ring.
+				r.c.clientFaults.Add(1)
+				if r.fatalErr == nil {
+					r.fatalErr = err
+				}
+				r.cancel()
+				r.cond.Broadcast()
+				r.mu.Unlock()
+				return
+			}
+			// Worker fault: exclude it for the run, mark it unhealthy, and
+			// re-route everything it still held.
+			r.c.workerFailures.Add(1)
+			r.c.retries.Add(1)
+			r.c.noteWorkerFault(addr)
+			r.lastWorkerErr = err
+			r.excluded[addr] = true
+			requeue := append(chunk, r.queues[addr]...)
+			delete(r.queues, addr)
+			r.assignLocked(requeue)
+			r.cond.Broadcast()
+			r.mu.Unlock()
+			return
 		}
-		sort.Ints(next)
-		pending = next
-		retrying = len(pending) > 0
-	}
-	return out, firstErr
-}
-
-// ring is a consistent-hash ring: Replicas virtual nodes per worker, placed
-// by FNV-64a. Ownership of a key is the first virtual node clockwise from
-// the key's hash whose worker is not excluded, so removing a worker only
-// moves the sessions it owned.
-type ring struct {
-	hashes  []uint64
-	workers []int // worker index per virtual node, aligned with hashes
-}
-
-// hash64 hashes a string for ring placement. Raw FNV-64a keeps most of the
-// difference between similar strings (worker addresses, route keys that
-// share long prefixes) in the low bits, which clusters a worker's virtual
-// nodes into contiguous runs and starves the others; a murmur3-style
-// finalizer scatters those bits across the whole ring.
-func hash64(s string) uint64 {
-	h := fnv.New64a()
-	_, _ = io.WriteString(h, s)
-	x := h.Sum64()
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	x *= 0xc4ceb9fe1a85ec53
-	x ^= x >> 33
-	return x
-}
-
-func newRing(workers []string, replicas int) *ring {
-	type vnode struct {
-		hash   uint64
-		worker int
-	}
-	vnodes := make([]vnode, 0, len(workers)*replicas)
-	for wi, w := range workers {
-		for r := 0; r < replicas; r++ {
-			vnodes = append(vnodes, vnode{hash: hash64(w + "#" + strconv.Itoa(r)), worker: wi})
+		for k, i := range chunk {
+			r.out[i] = resp.Results[k]
 		}
-	}
-	sort.Slice(vnodes, func(i, j int) bool {
-		if vnodes[i].hash != vnodes[j].hash {
-			return vnodes[i].hash < vnodes[j].hash
+		if resp.Error != "" && r.sessErr == nil {
+			r.sessErr = fmt.Errorf("cluster: worker %s: %s", addr, resp.Error)
 		}
-		return vnodes[i].worker < vnodes[j].worker
-	})
-	r := &ring{hashes: make([]uint64, len(vnodes)), workers: make([]int, len(vnodes))}
-	for i, v := range vnodes {
-		r.hashes[i] = v.hash
-		r.workers[i] = v.worker
+		r.resolved += len(chunk)
+		r.c.setWorkerStats(addr, resp.Stats)
+		r.cond.Broadcast()
+		r.mu.Unlock()
+		r.note(len(chunk))
 	}
-	return r
 }
 
-// owner returns the worker owning the key, skipping excluded workers; ok is
-// false when every worker is excluded.
-func (r *ring) owner(key string, excluded map[int]bool) (int, bool) {
-	h := hash64(key)
-	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
-	for off := 0; off < len(r.hashes); off++ {
-		w := r.workers[(start+off)%len(r.hashes)]
-		if !excluded[w] {
-			return w, true
+// localRunner drains the spill-over lane on the coordinator's own
+// in-process worker. Local execution shares the service's harness, so its
+// results are byte-identical to a remote worker's; a local rejection is a
+// deterministic spec error and fails the campaign like a client fault.
+func (r *run) localRunner() {
+	defer r.wg.Done()
+	w := r.c.localWorker()
+	for {
+		r.mu.Lock()
+		var chunk []int
+		for {
+			if r.done || r.fatalErr != nil {
+				r.mu.Unlock()
+				return
+			}
+			if len(r.localQueue) > 0 {
+				chunk = r.localQueue
+				r.localQueue = nil
+				break
+			}
+			r.cond.Wait()
 		}
+		r.mu.Unlock()
+
+		req := ShardRequest{
+			Sessions:      make([]SessionSpec, len(chunk)),
+			OracleVersion: r.c.cfg.OracleVersion.OrDefault().String(),
+		}
+		for k, i := range chunk {
+			req.Sessions[k] = r.specs[i]
+		}
+		resp, err := w.RunShard(req)
+
+		r.mu.Lock()
+		if err != nil {
+			r.c.clientFaults.Add(1)
+			if r.fatalErr == nil {
+				r.fatalErr = fmt.Errorf("cluster: local spill-over: %w", err)
+			}
+			r.cancel()
+			r.cond.Broadcast()
+			r.mu.Unlock()
+			return
+		}
+		for k, i := range chunk {
+			r.out[i] = resp.Results[k]
+		}
+		if resp.Error != "" && r.sessErr == nil {
+			r.sessErr = fmt.Errorf("cluster: local spill-over: %s", resp.Error)
+		}
+		r.resolved += len(chunk)
+		r.cond.Broadcast()
+		r.mu.Unlock()
+		r.note(len(chunk))
 	}
-	return 0, false
 }
 
-// httpTransport POSTs shards to workers over HTTP.
+// httpTransport POSTs shards to workers over HTTP and probes their
+// /healthz.
 type httpTransport struct {
 	client *http.Client
 }
@@ -451,12 +860,40 @@ func (t *httpTransport) RunShard(ctx context.Context, worker string, req ShardRe
 	}
 	defer httpResp.Body.Close()
 	if httpResp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
-		return ShardResponse{}, fmt.Errorf("cluster: worker %s returned %d: %s", worker, httpResp.StatusCode, strings.TrimSpace(string(msg)))
+		raw, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
+		msg := strings.TrimSpace(string(raw))
+		var se shardError
+		if json.Unmarshal(raw, &se) == nil && se.Error != "" {
+			msg = se.Error
+		}
+		if httpResp.StatusCode >= 400 && httpResp.StatusCode < 500 {
+			// The worker deliberately rejected the shard: the campaign's
+			// fault (bad spec, version skew), not the worker's.
+			return ShardResponse{}, &ClientFaultError{Worker: worker, Status: httpResp.StatusCode, Msg: msg}
+		}
+		return ShardResponse{}, fmt.Errorf("cluster: worker %s returned %d: %s", worker, httpResp.StatusCode, msg)
 	}
 	var resp ShardResponse
 	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
 		return ShardResponse{}, fmt.Errorf("cluster: decoding worker %s response: %w", worker, err)
 	}
 	return resp, nil
+}
+
+// Ping satisfies Pinger: a member is healthy while its /healthz answers 200.
+func (t *httpTransport) Ping(ctx context.Context, worker string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, workerURL(worker)+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: worker %s health probe returned %d", worker, resp.StatusCode)
+	}
+	return nil
 }

@@ -5,11 +5,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/acmp"
 	"repro/internal/batch"
@@ -137,7 +139,7 @@ func assertIdentical(t *testing.T, specs []SessionSpec, merged, direct []*engine
 func TestRingDeterministicCompleteAndExclusive(t *testing.T) {
 	workers := []string{"worker-a:9001", "worker-b:9002", "worker-c:9003"}
 	r := newRing(workers, 64)
-	owned := make(map[int]int)
+	owned := make(map[string]int)
 	for i := 0; i < 200; i++ {
 		key := fmt.Sprintf("key-%d", i)
 		w, ok := r.owner(key, nil)
@@ -146,27 +148,107 @@ func TestRingDeterministicCompleteAndExclusive(t *testing.T) {
 		}
 		// Ownership is deterministic.
 		if w2, _ := r.owner(key, nil); w2 != w {
-			t.Fatalf("owner(%q) flapped: %d then %d", key, w, w2)
+			t.Fatalf("owner(%q) flapped: %s then %s", key, w, w2)
 		}
 		owned[w]++
 		// Excluding the owner moves the key to another worker...
-		alt, ok := r.owner(key, map[int]bool{w: true})
+		alt, ok := r.owner(key, map[string]bool{w: true})
 		if !ok || alt == w {
-			t.Fatalf("exclusion of %d not honored for %q: got %d, %t", w, key, alt, ok)
+			t.Fatalf("exclusion of %s not honored for %q: got %s, %t", w, key, alt, ok)
 		}
 		// ...and keys not owned by the excluded worker stay put.
-		if kept, _ := r.owner(key, map[int]bool{(w + 1) % len(workers): true}); kept != w {
-			t.Errorf("excluding a non-owner moved %q from %d to %d", key, w, kept)
+		if kept, _ := r.owner(key, map[string]bool{alt: true}); kept != w {
+			t.Errorf("excluding a non-owner moved %q from %s to %s", key, w, kept)
 		}
 	}
-	for wi := range workers {
-		if owned[wi] == 0 {
-			t.Errorf("worker %d owns no keys out of 200 — ring is unbalanced", wi)
+	for _, w := range workers {
+		if owned[w] == 0 {
+			t.Errorf("worker %s owns no keys out of 200 — ring is unbalanced", w)
 		}
 	}
 	// With every worker excluded there is no owner.
-	if _, ok := r.owner("key-0", map[int]bool{0: true, 1: true, 2: true}); ok {
+	all := map[string]bool{}
+	for _, w := range workers {
+		all[w] = true
+	}
+	if _, ok := r.owner("key-0", all); ok {
 		t.Error("owner returned ok with every worker excluded")
+	}
+	// An empty ring owns nothing.
+	if _, ok := newRing(nil, 64).owner("key-0", nil); ok {
+		t.Error("empty ring returned an owner")
+	}
+}
+
+// TestMembershipTransitions unit-tests the membership state machine:
+// register/deregister, probe-driven health transitions, dispatch faults, and
+// watch-channel notifications.
+func TestMembershipTransitions(t *testing.T) {
+	m := newMembership([]string{"a:1", "b:2"}, 64)
+	if got := m.healthy(); len(got) != 2 {
+		t.Fatalf("static seed not healthy: %v", got)
+	}
+
+	// A watch channel closes on the next change.
+	ch := m.watchCh()
+	if !m.register("c:3", SourceRegistered) {
+		t.Fatal("registering a new member reported no change")
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("watch channel not closed by register")
+	}
+	if m.register("c:3", SourceRegistered) {
+		t.Error("re-registering a healthy member reported a change")
+	}
+
+	// Probe failures below the threshold change nothing; at the threshold
+	// the member turns unhealthy; one success heals it.
+	if m.probe("b:2", false, 2) {
+		t.Error("first probe failure marked the member unhealthy (threshold 2)")
+	}
+	if !m.probe("b:2", false, 2) {
+		t.Error("second consecutive probe failure did not mark the member unhealthy")
+	}
+	if m.isHealthy("b:2") {
+		t.Error("member still healthy after threshold failures")
+	}
+	if !m.probe("b:2", true, 2) {
+		t.Error("passing probe did not heal the member")
+	}
+	if !m.isHealthy("b:2") {
+		t.Error("member not healthy after passing probe")
+	}
+
+	// A dispatch fault marks unhealthy immediately; registration heals.
+	if !m.fault("a:1") {
+		t.Error("fault on a healthy member reported no transition")
+	}
+	if m.fault("a:1") {
+		t.Error("fault on an unhealthy member reported a transition")
+	}
+	if owner, _ := m.owner("some-key", nil); owner == "a:1" {
+		t.Error("unhealthy member still owns keys")
+	}
+	if !m.register("a:1", SourceStatic) {
+		t.Error("re-registering a faulted member reported no change")
+	}
+
+	// Deregister forgets the member entirely.
+	if !m.deregister("c:3") || m.deregister("c:3") {
+		t.Error("deregister did not remove exactly once")
+	}
+	if got := m.addrs(); len(got) != 2 {
+		t.Errorf("addrs after deregister = %v, want 2 members", got)
+	}
+
+	// snapshot returns value copies.
+	snap := m.snapshot()
+	snap[0].Healthy = false
+	snap[0].Addr = "mutated"
+	if !m.isHealthy("a:1") {
+		t.Error("mutating a snapshot changed membership state")
 	}
 }
 
@@ -245,7 +327,7 @@ func TestShardRetryOnWorkerFailure(t *testing.T) {
 	// exercised; with fixed worker names and keys this is deterministic.
 	deadOwns := 0
 	for _, s := range specs {
-		if w, _ := coord.ring.owner(s.RouteKey(), nil); w == 1 {
+		if w, _ := coord.members.owner(s.RouteKey(), nil); w == names[1] {
 			deadOwns++
 		}
 	}
@@ -268,6 +350,14 @@ func TestShardRetryOnWorkerFailure(t *testing.T) {
 	// The survivor executed everything.
 	if got := alive.Stats().UniqueRuns; got != int64(len(specs)) {
 		t.Errorf("surviving worker simulated %d sessions, want %d", got, len(specs))
+	}
+	// The fault propagated to the membership: the dead worker is marked
+	// unhealthy (a passing health probe or re-registration would heal it).
+	if coord.members.isHealthy(names[1]) {
+		t.Error("dead worker still healthy in the membership after a dispatch fault")
+	}
+	if st.Workers != 1 {
+		t.Errorf("Stats.Workers = %d after the fault, want 1", st.Workers)
 	}
 }
 
@@ -377,5 +467,417 @@ func TestWorkerRejectsOracleVersionMismatch(t *testing.T) {
 
 	if _, err := w.RunShard(ShardRequest{Sessions: []SessionSpec{good}, OracleVersion: "v9"}); err == nil {
 		t.Error("worker accepted an unknown oracle version")
+	}
+}
+
+// TestClientFaultDoesNotPoisonRing is the regression test for the failure
+// taxonomy: a campaign containing one invalid session spec is rejected by
+// whichever worker receives it with a deterministic HTTP 400. The campaign
+// must fail fast with the spec error, exclude zero workers (re-routing
+// would cascade the identical 400 around the ring until "all N workers
+// failed"), and leave the coordinator fully serving subsequent valid
+// campaigns.
+func TestClientFaultDoesNotPoisonRing(t *testing.T) {
+	w1, w2 := newTestWorker(t), newTestWorker(t)
+	ts1 := httptest.NewServer(w1.Handler())
+	defer ts1.Close()
+	ts2 := httptest.NewServer(w2.Handler())
+	defer ts2.Close()
+
+	coord, err := New(Config{Workers: []string{ts1.URL, ts2.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	specs := testSpecs()
+	mixed := append([]SessionSpec(nil), specs...)
+	mixed[7].App = "no-such-app"
+	_, err = coord.Run(mixed, nil)
+	if err == nil {
+		t.Fatal("mixed-validity campaign succeeded")
+	}
+	if !IsClientFault(err) {
+		t.Errorf("invalid-spec rejection not classified as a client fault: %v", err)
+	}
+	if !strings.Contains(err.Error(), "no-such-app") {
+		t.Errorf("campaign error does not surface the spec error: %v", err)
+	}
+	st := coord.Stats()
+	if st.WorkerFailures != 0 || st.Retries != 0 {
+		t.Errorf("deterministic 400 excluded workers: failures=%d retries=%d", st.WorkerFailures, st.Retries)
+	}
+	if st.ClientFaults < 1 {
+		t.Errorf("client fault not counted: %+v", st)
+	}
+	if st.Workers != 2 {
+		t.Errorf("healthy worker count after client fault = %d, want 2 (ring poisoned)", st.Workers)
+	}
+
+	// The coordinator keeps serving valid campaigns on the full ring.
+	merged, err := coord.Run(specs, nil)
+	if err != nil {
+		t.Fatalf("valid campaign after a client fault failed: %v", err)
+	}
+	assertIdentical(t, specs, merged, directResults(t, specs))
+	if st := coord.Stats(); st.WorkerFailures != 0 {
+		t.Errorf("worker exclusions leaked across campaigns: %+v", st)
+	}
+}
+
+// rejectingTransport fakes the taxonomy without a trained harness: shards
+// containing the poisoned app are rejected with a client fault, everything
+// else "succeeds" with placeholder results.
+type rejectingTransport struct{ badApp string }
+
+func (f rejectingTransport) RunShard(ctx context.Context, worker string, req ShardRequest) (ShardResponse, error) {
+	for _, s := range req.Sessions {
+		if s.App == f.badApp {
+			return ShardResponse{}, &ClientFaultError{Worker: worker, Status: http.StatusBadRequest,
+				Msg: fmt.Sprintf("unknown app %q", s.App)}
+		}
+	}
+	resp := ShardResponse{Results: make([]*engine.Result, len(req.Sessions))}
+	for i := range resp.Results {
+		resp.Results[i] = &engine.Result{}
+	}
+	return resp, nil
+}
+
+// TestClientFaultFailsFastFakeTransport covers the same taxonomy split
+// without training a harness, so it runs in -short mode too.
+func TestClientFaultFailsFastFakeTransport(t *testing.T) {
+	coord, err := New(Config{Workers: []string{"worker-a:9001", "worker-b:9002"},
+		Transport: rejectingTransport{badApp: "poison"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := testSpecs()
+	specs[5].App = "poison"
+	_, err = coord.Run(specs, nil)
+	if err == nil || !IsClientFault(err) {
+		t.Fatalf("expected a client-fault campaign error, got %v", err)
+	}
+	st := coord.Stats()
+	if st.WorkerFailures != 0 || st.Workers != 2 {
+		t.Errorf("client fault excluded a worker: %+v", st)
+	}
+	if _, err := coord.Run(testSpecs(), nil); err != nil {
+		t.Errorf("valid campaign after a client fault failed: %v", err)
+	}
+}
+
+// TestWorkersReturnsCopy guards the getter-aliasing bug: mutating the
+// slices and snapshots returned by the coordinator must not corrupt
+// routing state.
+func TestWorkersReturnsCopy(t *testing.T) {
+	coord, err := New(Config{Workers: []string{"worker-a:9001", "worker-b:9002"}, Transport: everythingFails{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := coord.Workers()
+	ws[0] = "mutated"
+	if got := coord.Workers(); got[0] != "worker-a:9001" {
+		t.Errorf("mutating Workers() corrupted membership: %v", got)
+	}
+	ms := coord.Members()
+	if len(ms) != 2 {
+		t.Fatalf("Members() = %v, want 2", ms)
+	}
+	ms[0].Healthy = false
+	ms[0].Addr = "mutated"
+	if !coord.members.isHealthy("worker-a:9001") {
+		t.Error("mutating Members() corrupted membership health")
+	}
+}
+
+// TestStatsDropExcludedWorker guards the stats-inflation bug: an excluded
+// or departed member's last snapshot must not be summed into Stats.Remote.
+func TestStatsDropExcludedWorker(t *testing.T) {
+	coord, err := New(Config{Workers: []string{"worker-a:9001", "worker-b:9002"}, Transport: everythingFails{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.setWorkerStats("worker-a:9001", batch.Stats{Sessions: 5, UniqueRuns: 3, CacheHits: 2})
+	coord.setWorkerStats("worker-b:9002", batch.Stats{Sessions: 7, UniqueRuns: 7})
+	if st := coord.Stats(); st.Remote.Sessions != 12 {
+		t.Fatalf("Remote.Sessions = %d before any fault, want 12", st.Remote.Sessions)
+	}
+	coord.noteWorkerFault("worker-b:9002")
+	st := coord.Stats()
+	if st.Remote.Sessions != 5 || st.Remote.UniqueRuns != 3 || st.Remote.CacheHits != 2 {
+		t.Errorf("excluded worker's snapshot still summed: %+v", st.Remote)
+	}
+	if st.Workers != 1 {
+		t.Errorf("Workers = %d after fault, want 1", st.Workers)
+	}
+	if !coord.Deregister("worker-a:9001") {
+		t.Fatal("Deregister returned false for a member")
+	}
+	if st := coord.Stats(); st.Remote.Sessions != 0 {
+		t.Errorf("departed worker's snapshot still summed: %+v", st.Remote)
+	}
+}
+
+// killAfterFirst wraps the real HTTP transport: after the victim worker's
+// first successful shard, its server is shut down — every later dispatch to
+// it fails at the transport level exactly like a process killed
+// mid-campaign.
+type killAfterFirst struct {
+	inner  Transport
+	victim string
+	kill   func()
+	once   sync.Once
+}
+
+func (k *killAfterFirst) RunShard(ctx context.Context, worker string, req ShardRequest) (ShardResponse, error) {
+	resp, err := k.inner.RunShard(ctx, worker, req)
+	if worker == k.victim && err == nil {
+		k.once.Do(k.kill)
+	}
+	return resp, err
+}
+
+// TestMidCampaignWorkerDeathMergesByteIdentical kills one of two real HTTP
+// workers after its first shard and asserts the campaign still completes
+// with results byte-identical to a single-process run.
+func TestMidCampaignWorkerDeathMergesByteIdentical(t *testing.T) {
+	w1, w2 := newTestWorker(t), newTestWorker(t)
+	ts1 := httptest.NewServer(w1.Handler())
+	defer ts1.Close()
+	ts2 := httptest.NewServer(w2.Handler())
+	defer ts2.Close() // idempotent after the mid-campaign kill
+
+	tr := &killAfterFirst{inner: &httpTransport{client: &http.Client{}}, victim: ts2.URL, kill: ts2.Close}
+	// Small chunks so the victim owns several dispatches: the kill lands
+	// between them.
+	coord, err := New(Config{Workers: []string{ts1.URL, ts2.URL}, Transport: tr, MaxShardSessions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := testSpecs()
+	merged, err := coord.Run(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, specs, merged, directResults(t, specs))
+	st := coord.Stats()
+	if st.WorkerFailures < 1 || st.Retries < 1 {
+		t.Errorf("mid-campaign kill never observed: %+v", st)
+	}
+	if w2.Stats().Sessions == 0 {
+		t.Error("victim worker never ran a shard before dying")
+	}
+	if coord.members.isHealthy(ts2.URL) {
+		t.Error("dead worker still healthy in the membership")
+	}
+}
+
+// registerOnFirst wraps the transport: the first successful shard triggers a
+// late registration, simulating a worker joining mid-campaign.
+type registerOnFirst struct {
+	inner Transport
+	join  func()
+	once  sync.Once
+}
+
+func (j *registerOnFirst) RunShard(ctx context.Context, worker string, req ShardRequest) (ShardResponse, error) {
+	resp, err := j.inner.RunShard(ctx, worker, req)
+	if err == nil {
+		j.once.Do(j.join)
+	}
+	return resp, err
+}
+
+// TestMidCampaignWorkerJoinStealsAndMergesByteIdentical starts a campaign on
+// a single-worker cluster, registers a second real HTTP worker after the
+// first shard completes, and asserts the joiner steals queued work with the
+// merged results byte-identical to a single-process run.
+func TestMidCampaignWorkerJoinStealsAndMergesByteIdentical(t *testing.T) {
+	w1, w2 := newTestWorker(t), newTestWorker(t)
+	ts1 := httptest.NewServer(w1.Handler())
+	defer ts1.Close()
+	ts2 := httptest.NewServer(w2.Handler())
+	defer ts2.Close()
+
+	tr := &registerOnFirst{inner: &httpTransport{client: &http.Client{}}}
+	coord, err := New(Config{Workers: []string{ts1.URL}, Transport: tr, MaxShardSessions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.join = func() {
+		if err := coord.Register(ts2.URL); err != nil {
+			t.Errorf("mid-campaign Register: %v", err)
+		}
+	}
+	specs := testSpecs()
+	merged, err := coord.Run(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, specs, merged, directResults(t, specs))
+	st := coord.Stats()
+	if st.Workers != 2 {
+		t.Errorf("Workers = %d after the join, want 2", st.Workers)
+	}
+	if st.Steals < 1 || st.SessionsStolen < 1 {
+		t.Errorf("joined worker never stole queued work: %+v", st)
+	}
+	if w2.Stats().Sessions == 0 {
+		t.Error("joined worker executed nothing")
+	}
+	if st.WorkerFailures != 0 {
+		t.Errorf("join campaign recorded worker failures: %+v", st)
+	}
+}
+
+// slowTransport delegates shards to a shared in-process worker, delaying
+// the slow member's dispatches — a stand-in for the skewed Oracle tail.
+type slowTransport struct {
+	worker *Worker
+	slow   string
+	delay  time.Duration
+}
+
+func (s *slowTransport) RunShard(ctx context.Context, worker string, req ShardRequest) (ShardResponse, error) {
+	if worker == s.slow {
+		select {
+		case <-time.After(s.delay):
+		case <-ctx.Done():
+			return ShardResponse{}, ctx.Err()
+		}
+	}
+	return s.worker.RunShard(req)
+}
+
+// TestStealingBoundsSlowWorker pairs a fast worker with an artificially
+// slow one and asserts the fast worker steals from the slow one's queue,
+// with results still merged byte-identically in campaign order.
+func TestStealingBoundsSlowWorker(t *testing.T) {
+	shared := newTestWorker(t)
+	names := []string{"worker-fast:9001", "worker-slow:9002"}
+	tr := &slowTransport{worker: shared, slow: names[1], delay: 200 * time.Millisecond}
+	coord, err := New(Config{Workers: names, Transport: tr, MaxShardSessions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := testSpecs()
+	merged, err := coord.Run(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, specs, merged, directResults(t, specs))
+	st := coord.Stats()
+	if st.Steals < 1 || st.SessionsStolen < 1 {
+		t.Errorf("idle worker never stole from the slow queue: %+v", st)
+	}
+	if st.WorkerFailures != 0 {
+		t.Errorf("stealing campaign recorded worker failures: %+v", st)
+	}
+	if st.SessionsRouted != int64(len(specs)) {
+		t.Errorf("SessionsRouted = %d, want %d (steals must not double-route)", st.SessionsRouted, len(specs))
+	}
+}
+
+// TestSpillOverEmptyMembership runs a campaign on a coordinator with no
+// workers at all: every session spills over to the local in-process worker
+// instead of failing.
+func TestSpillOverEmptyMembership(t *testing.T) {
+	coord, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	coord.SetLocal(newTestWorker(t))
+	specs := testSpecs()[:6]
+	merged, err := coord.Run(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, specs, merged, directResults(t, specs))
+	st := coord.Stats()
+	if st.SpillOvers < 1 || st.SessionsSpilled != int64(len(specs)) {
+		t.Errorf("spill-over not recorded: %+v", st)
+	}
+	if st.Shards != 0 || st.SessionsRouted != 0 {
+		t.Errorf("empty membership still routed remotely: %+v", st)
+	}
+}
+
+// TestSpillOverAfterAllWorkersFail is the graceful-degradation path: every
+// remote worker dies mid-campaign and the coordinator finishes the campaign
+// on its local worker instead of failing it.
+func TestSpillOverAfterAllWorkersFail(t *testing.T) {
+	coord, err := New(Config{Workers: []string{"worker-a:9001", "worker-b:9002"}, Transport: everythingFails{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.SetLocal(newTestWorker(t))
+	specs := testSpecs()
+	merged, err := coord.Run(specs, nil)
+	if err != nil {
+		t.Fatalf("campaign failed despite local spill-over: %v", err)
+	}
+	assertIdentical(t, specs, merged, directResults(t, specs))
+	st := coord.Stats()
+	if st.WorkerFailures != 2 {
+		t.Errorf("WorkerFailures = %d, want 2", st.WorkerFailures)
+	}
+	if st.SessionsSpilled != int64(len(specs)) {
+		t.Errorf("SessionsSpilled = %d, want %d", st.SessionsSpilled, len(specs))
+	}
+	if st.Workers != 0 {
+		t.Errorf("Workers = %d after both faults, want 0", st.Workers)
+	}
+}
+
+// TestHeartbeatMarksDeadAndHealsRecovered drives the real HTTP health-probe
+// loop against a flippable /healthz: threshold consecutive failures mark
+// the member unhealthy, one passing probe heals it. No harness is trained,
+// so this runs in -short mode.
+func TestHeartbeatMarksDeadAndHealsRecovered(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" || !healthy.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	coord, err := New(Config{
+		Workers:           []string{ts.URL},
+		HeartbeatInterval: 10 * time.Millisecond,
+		HeartbeatTimeout:  time.Second,
+		HeartbeatFailures: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	waitFor := func(want bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if coord.members.isHealthy(ts.URL) == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+	waitFor(true, "initial healthy state")
+	healthy.Store(false)
+	waitFor(false, "consecutive probe failures to mark the worker unhealthy")
+	if st := coord.Stats(); st.Workers != 0 {
+		t.Errorf("Workers = %d while the only member is unhealthy, want 0", st.Workers)
+	}
+	healthy.Store(true)
+	waitFor(true, "a passing probe to heal the worker")
+	if st := coord.Stats(); st.Workers != 1 {
+		t.Errorf("Workers = %d after the heal, want 1", st.Workers)
 	}
 }

@@ -38,7 +38,10 @@ type Config struct {
 	// through a coordinator; nil executes campaigns in-process on the
 	// shared runner. Figure endpoints always run in-process. Workers must
 	// share this server's Experiments configuration for merged results to
-	// be byte-identical to in-process execution.
+	// be byte-identical to in-process execution. New wires the service's
+	// own harness into the coordinator as the local spill-over worker, so
+	// campaigns degrade to in-process execution when the live worker set
+	// empties instead of failing.
 	Cluster *cluster.Coordinator
 }
 
@@ -188,6 +191,12 @@ func New(cfg Config) (*Server, error) {
 	setup, err := experiments.NewSetup(cfg.Experiments)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Cluster != nil {
+		// The service's own trained harness doubles as the coordinator's
+		// spill-over backend: identical configuration means local results
+		// are byte-identical to a worker's.
+		cfg.Cluster.SetLocal(cluster.NewWorkerFromSetup(setup))
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -398,6 +407,12 @@ func (s *Server) figureGen(name string) (func() (*experiments.Table, error), str
 //	GET  /v1/campaigns/{id}/results per-session results + aggregate tables
 //	GET  /v1/figures/{name}         one figure of the paper, computed on demand
 //	GET  /healthz                   liveness + shared-cache counters
+//
+// Coordinators (Config.Cluster set) additionally serve the membership API:
+//
+//	POST   /v1/cluster/workers        register a worker ({"addr": "host:port"})
+//	DELETE /v1/cluster/workers?addr=  deregister a worker
+//	GET    /v1/cluster/workers        list members with health state
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
@@ -405,7 +420,54 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if s.cfg.Cluster != nil {
+		mux.HandleFunc("POST /v1/cluster/workers", s.handleClusterRegister)
+		mux.HandleFunc("DELETE /v1/cluster/workers", s.handleClusterDeregister)
+		mux.HandleFunc("GET /v1/cluster/workers", s.handleClusterMembers)
+	}
 	return mux
+}
+
+// registerRequest is the body of POST /v1/cluster/workers.
+type registerRequest struct {
+	Addr string `json:"addr"`
+}
+
+// membersResponse is the body of the membership endpoints' answers.
+type membersResponse struct {
+	Members []cluster.Member `json:"members"`
+}
+
+func (s *Server) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid registration JSON: " + err.Error()})
+		return
+	}
+	if err := s.cfg.Cluster.Register(req.Addr); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, membersResponse{Members: s.cfg.Cluster.Members()})
+}
+
+func (s *Server) handleClusterDeregister(w http.ResponseWriter, r *http.Request) {
+	addr := r.URL.Query().Get("addr")
+	if addr == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "missing addr query parameter"})
+		return
+	}
+	if !s.cfg.Cluster.Deregister(addr) {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown worker address"})
+		return
+	}
+	writeJSON(w, http.StatusOK, membersResponse{Members: s.cfg.Cluster.Members()})
+}
+
+func (s *Server) handleClusterMembers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, membersResponse{Members: s.cfg.Cluster.Members()})
 }
 
 // apiError is the JSON error body.

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/sessions"
 )
@@ -574,5 +575,123 @@ func TestClusterModeExpandSkipsSessionConstruction(t *testing.T) {
 	// Validation still runs without session construction.
 	if _, err := (Campaign{Apps: []string{"nosuchapp"}}).expand(s.Setup(), false); err == nil {
 		t.Error("cluster-mode expansion accepted an unknown app")
+	}
+}
+
+// TestClusterMembershipEndpoints exercises the coordinator's worker
+// registration API: register, list, deregister, the error paths, and the
+// absence of the endpoints on a non-cluster server.
+func TestClusterMembershipEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("server tests train a predictor")
+	}
+	coord, err := cluster.New(cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	cfg := smallConfig()
+	cfg.Cluster = coord
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, membersResponse) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/cluster/workers", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m membersResponse
+		_ = json.NewDecoder(resp.Body).Decode(&m)
+		return resp, m
+	}
+
+	resp, m := post(`{"addr": "localhost:9001"}`)
+	if resp.StatusCode != http.StatusOK || len(m.Members) != 1 || m.Members[0].Addr != "localhost:9001" {
+		t.Fatalf("register = %d %+v", resp.StatusCode, m)
+	}
+	if m.Members[0].Source != cluster.SourceRegistered || !m.Members[0].Healthy {
+		t.Errorf("registered member state = %+v", m.Members[0])
+	}
+	// Registration is idempotent.
+	if resp, m = post(`{"addr": "localhost:9001"}`); resp.StatusCode != http.StatusOK || len(m.Members) != 1 {
+		t.Errorf("re-register = %d %+v", resp.StatusCode, m)
+	}
+	// Bad requests are client errors, not registrations.
+	for _, bad := range []string{`{`, `{"addr": ""}`, `{"addr": "x", "extra": 1}`} {
+		if resp, _ := post(bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %q = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// The coordinator's stats surface the member on /healthz.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Cluster == nil || len(h.Cluster.Members) != 1 || h.Cluster.Workers != 1 {
+		t.Errorf("healthz cluster stats = %+v", h.Cluster)
+	}
+
+	// List, then deregister.
+	resp, err = http.Get(ts.URL + "/v1/cluster/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listed membersResponse
+	if err := json.NewDecoder(resp.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listed.Members) != 1 {
+		t.Errorf("GET workers = %+v", listed)
+	}
+	del := func(query string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/cluster/workers"+query, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := del(""); got != http.StatusBadRequest {
+		t.Errorf("DELETE without addr = %d, want 400", got)
+	}
+	if got := del("?addr=unknown:1"); got != http.StatusNotFound {
+		t.Errorf("DELETE unknown = %d, want 404", got)
+	}
+	if got := del("?addr=localhost:9001"); got != http.StatusOK {
+		t.Errorf("DELETE member = %d, want 200", got)
+	}
+	if ws := coord.Workers(); len(ws) != 0 {
+		t.Errorf("membership after deregister = %v, want empty", ws)
+	}
+
+	// A non-cluster server does not serve the membership API.
+	plain := httptest.NewServer(testServer(t).Handler())
+	defer plain.Close()
+	if resp, err := http.Get(plain.URL + "/v1/cluster/workers"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("membership API on a non-cluster server = %d, want 404", resp.StatusCode)
+		}
 	}
 }

@@ -282,15 +282,22 @@ func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // Sharded multi-worker campaign execution.
 type (
-	// ClusterConfig parameterizes a campaign coordinator: worker addresses,
-	// transport, hash-ring replicas, shard timeout.
+	// ClusterConfig parameterizes a campaign coordinator: static worker
+	// seed, transport, hash-ring replicas, shard timeout, heartbeat cadence,
+	// local spill-over worker.
 	ClusterConfig = cluster.Config
-	// ClusterCoordinator shards campaign sessions across workers by
-	// consistent hashing on the batch memo key, retries failed shards on
-	// the remaining workers, and merges results in campaign order —
-	// byte-identical to in-process execution. Set it on
-	// ServerConfig.Cluster to shard a server's campaigns.
+	// ClusterCoordinator shards campaign sessions across an elastic worker
+	// set by consistent hashing on the batch memo key: workers join via
+	// Register and are health-checked by heartbeats, idle workers steal
+	// queued work from slow ones, worker faults re-route to the survivors,
+	// and when the live set empties the coordinator spills over to local
+	// in-process execution. Merged results stay byte-identical to
+	// single-process execution. Set it on ServerConfig.Cluster to shard a
+	// server's campaigns.
 	ClusterCoordinator = cluster.Coordinator
+	// ClusterMember is one cluster member's externally visible state:
+	// address, static/registered source, and health.
+	ClusterMember = cluster.Member
 	// ClusterWorker executes shards on its own trained harness and warm
 	// caches; serve its Handler to join a cluster.
 	ClusterWorker = cluster.Worker

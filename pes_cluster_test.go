@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
@@ -162,5 +163,102 @@ func TestClusteredHealthzReportsClusterCounters(t *testing.T) {
 	}
 	if h.Cluster.Remote.UniqueRuns != 2 {
 		t.Errorf("remote unique runs = %d, want 2", h.Cluster.Remote.UniqueRuns)
+	}
+}
+
+// TestClusteredSpillOverAndLiveRegistration covers the elastic paths end to
+// end: a coordinator with no workers at all executes campaigns locally
+// (graceful degradation), and a worker registered at runtime through the
+// membership API takes over subsequent campaigns.
+func TestClusteredSpillOverAndLiveRegistration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster e2e tests train a predictor")
+	}
+	cfg := ExperimentConfig{TrainTracesPerApp: 2, EvalTracesPerApp: 1, Parallel: 2}
+	coord, err := NewClusterCoordinator(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	svc, err := NewServer(ServerConfig{Experiments: cfg, JobWorkers: 2, Cluster: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	base := ts.URL
+
+	// With an empty membership the campaign spills over to the server's own
+	// in-process worker instead of failing.
+	first := Campaign{Apps: []string{"cnn"}, Schedulers: []string{"EBS", "PES"}}
+	st := postCampaign(t, base, first)
+	if final := awaitCampaign(t, base, st.ID); final.Status != "done" {
+		t.Fatalf("spill-over campaign ended %s: %s", final.Status, final.Error)
+	}
+	res := fetchRawResults(t, base, st.ID)
+	plan, err := NewCampaign(first, svc.Setup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := RunBatch(1, plan.Sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range res.Rows {
+		if !compactEqualResult(t, row.Result, direct[i]) {
+			t.Errorf("spill-over row %d differs from single-process RunBatch", i)
+		}
+	}
+	cs := coord.Stats()
+	if cs.SessionsSpilled != 2 || cs.Shards != 0 {
+		t.Errorf("spill-over not recorded: %+v", cs)
+	}
+	if got := svc.Stats().UniqueRuns; got != 2 {
+		t.Errorf("local worker simulated %d sessions, want 2", got)
+	}
+
+	// Register a real worker over HTTP; the next campaign routes to it.
+	w, err := NewClusterWorker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wts := httptest.NewServer(w.Handler())
+	t.Cleanup(wts.Close)
+	resp, err := http.Post(base+"/v1/cluster/workers", "application/json",
+		strings.NewReader(`{"addr": "`+wts.URL+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("registration = %d", resp.StatusCode)
+	}
+
+	second := Campaign{Apps: []string{"ebay"}, Schedulers: []string{"EBS", "PES"}}
+	st2 := postCampaign(t, base, second)
+	if final := awaitCampaign(t, base, st2.ID); final.Status != "done" {
+		t.Fatalf("post-registration campaign ended %s: %s", final.Status, final.Error)
+	}
+	res2 := fetchRawResults(t, base, st2.ID)
+	plan2, err := NewCampaign(second, svc.Setup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct2, err := RunBatch(1, plan2.Sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range res2.Rows {
+		if !compactEqualResult(t, row.Result, direct2[i]) {
+			t.Errorf("post-registration row %d differs from single-process RunBatch", i)
+		}
+	}
+	cs = coord.Stats()
+	if cs.SessionsRouted != 2 || cs.Workers != 1 {
+		t.Errorf("registered worker did not take the campaign: %+v", cs)
+	}
+	if got := w.Stats().UniqueRuns; got != 2 {
+		t.Errorf("registered worker simulated %d sessions, want 2", got)
 	}
 }
