@@ -46,6 +46,7 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/sched"
 	"repro/internal/sessions"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/webapp"
 )
@@ -69,6 +70,35 @@ type Report struct {
 	Sessions      []SessionReport   `json:"sessions,omitempty"`
 	Throughput    *ThroughputReport `json:"throughput,omitempty"`
 	Figures       []FigureReport    `json:"figures,omitempty"`
+	// Store is the warm-start section, present only when -store was given:
+	// a fixed campaign run against the persistent store directory. The first
+	// run against an empty directory populates it (hit_rate 0); re-running
+	// the same command against the same directory must report hit_rate 1 and
+	// zero unique runs — the restart-durability claim in benchmark form.
+	Store *StoreReport `json:"store,omitempty"`
+}
+
+// StoreReport is the persistent-store warm-start benchmark.
+type StoreReport struct {
+	Dir string `json:"dir"`
+	// WarmStart reports whether the store held records at open (i.e. this
+	// is a re-run against a populated directory); RecoveredRecords is how
+	// many it recovered from the log.
+	WarmStart        bool  `json:"warm_start"`
+	RecoveredRecords int64 `json:"recovered_records"`
+	// Sessions / UniqueRuns / StoreHits are the campaign's batch counters:
+	// every session is a distinct key, so on a warm start StoreHits equals
+	// Sessions and UniqueRuns is zero.
+	Sessions   int64   `json:"sessions"`
+	UniqueRuns int64   `json:"unique_runs"`
+	StoreHits  int64   `json:"store_hits"`
+	HitRate    float64 `json:"hit_rate"`
+	// TraceStoreHits / LearnerStoreHits count artifacts loaded from the
+	// store instead of rebuilt; a warm start skips SGD training entirely.
+	TraceStoreHits   int64 `json:"trace_store_hits"`
+	LearnerStoreHits int64 `json:"learner_store_hits"`
+	// WallMS is the campaign wall time (host measurement, not gated).
+	WallMS float64 `json:"wall_ms"`
 }
 
 // ThroughputReport is the unique-session throughput benchmark: how many
@@ -213,6 +243,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	oracle := fs.String("oracle", "", "oracle solver version for the session/throughput benchmarks: v2 (default) or v1 (reproduces the BENCH_pr4 Oracle figures)")
+	storeDir := fs.String("store", "", "persistent store directory for the warm-start section (first run populates it; a re-run must report hit_rate 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -254,6 +285,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		rep.Figures = figures
 	}
+	if *storeDir != "" {
+		storeRep, err := benchStore(*storeDir, oracleVer)
+		if err != nil {
+			return err
+		}
+		rep.Store = storeRep
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -286,6 +324,80 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return checkBaseline(rep, *baseline, *check, stderr)
 	}
 	return nil
+}
+
+// benchStore runs the warm-start benchmark: a fixed, fully deterministic
+// campaign (2 apps x 2 seeds x every scheduler) through a batch runner and
+// artifact store layered over the persistent store at dir. All state is
+// private to the call except the store directory itself, so the section
+// measures exactly what the directory's contents buy: an empty dir pays the
+// full training+simulation cost and populates the log; re-running against
+// the populated dir trains nothing, simulates nothing, and reports
+// hit_rate 1.
+func benchStore(dir string, oracleVer sched.OracleVersion) (*StoreReport, error) {
+	ps, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer ps.Close()
+	atOpen := ps.Stats()
+
+	arts := artifacts.NewStore().WithPersistent(ps)
+	learner, _, err := arts.Learner(artifacts.LearnerKey{TracesPerApp: 3, CorpusSeed: 400, TrainSeed: 1})
+	if err != nil {
+		return nil, err
+	}
+	platform := acmp.Exynos5410()
+	runner := batch.NewRunner(0).AttachArtifacts(arts).WithStore(ps)
+	var specs []batch.Session
+	for _, app := range []string{"cnn", "ebay"} {
+		spec, err := webapp.ByName(app)
+		if err != nil {
+			return nil, err
+		}
+		for _, seed := range []int64{21, 22} {
+			tr := arts.Trace(spec, seed, trace.PurposeEval, trace.Options{})
+			for _, schedName := range sessions.Names() {
+				sess, err := sessions.New(sessions.Spec{
+					Platform:      platform,
+					Trace:         tr,
+					Scheduler:     schedName,
+					Learner:       learner,
+					Predictor:     predictor.DefaultConfig(),
+					Artifacts:     arts,
+					OracleVersion: oracleVer,
+				})
+				if err != nil {
+					return nil, err
+				}
+				specs = append(specs, sess)
+			}
+		}
+	}
+	begun := time.Now()
+	if _, err := runner.Run(specs); err != nil {
+		return nil, err
+	}
+	wall := time.Since(begun)
+
+	st := runner.Stats()
+	rep := &StoreReport{
+		Dir:              dir,
+		WarmStart:        atOpen.Recovered > 0,
+		RecoveredRecords: atOpen.Recovered,
+		Sessions:         st.Sessions,
+		UniqueRuns:       st.UniqueRuns,
+		StoreHits:        st.StoreHits,
+		WallMS:           float64(wall.Microseconds()) / 1e3,
+	}
+	if st.Sessions > 0 {
+		rep.HitRate = float64(st.StoreHits) / float64(st.Sessions)
+	}
+	if st.Artifacts != nil {
+		rep.TraceStoreHits = st.Artifacts.TraceStoreHits
+		rep.LearnerStoreHits = st.Artifacts.LearnerStoreHits
+	}
+	return rep, nil
 }
 
 // benchSolver runs the solver microbenchmark suite: identical instances

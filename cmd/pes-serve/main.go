@@ -52,6 +52,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/sched"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -69,6 +70,7 @@ type serveConfig struct {
 	clusterMode bool
 	coordinator string
 	advertise   string
+	storeDir    string
 	exp         experiments.Config
 }
 
@@ -99,6 +101,7 @@ func parseArgs(args []string, stderr io.Writer) (serveConfig, error) {
 	coordinator := fs.String("coordinator", "", "coordinator URL this worker registers with on startup (worker mode only)")
 	advertise := fs.String("advertise", "", "address the coordinator reaches this worker at (default: derived from -addr)")
 	oracle := fs.String("oracle", "", "oracle solver version: v2 (default, fast path) or v1 (paper-exact reference figures); cluster processes must agree")
+	storeDir := fs.String("store", "", "persistent store directory: session results, traces and trained models survive restarts (empty = in-memory only; one process per directory)")
 	if err := fs.Parse(args); err != nil {
 		return serveConfig{}, err
 	}
@@ -162,6 +165,7 @@ func parseArgs(args []string, stderr io.Writer) (serveConfig, error) {
 		clusterMode: *clusterMode,
 		coordinator: *coordinator,
 		advertise:   adv,
+		storeDir:    *storeDir,
 		exp:         cfg,
 	}, nil
 }
@@ -265,10 +269,35 @@ func registerLoop(coordinator, advertise string, stdout io.Writer) (stop func())
 	}
 }
 
+// openPersistentStore opens the -store directory when one is configured and
+// reports the recovery outcome; an empty dir means in-memory only (nil
+// store).
+func openPersistentStore(dir string, stdout io.Writer) (*store.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	ps, err := store.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("opening -store: %w", err)
+	}
+	st := ps.Stats()
+	fmt.Fprintf(stdout, "pes-serve: persistent store %s: %d records recovered (%d corrupt skipped, %d torn bytes dropped)\n",
+		dir, st.Recovered, st.CorruptRecords, st.TornBytes)
+	return ps, nil
+}
+
 // serveWorker trains the worker harness and serves the cluster shard API on
 // cfg.addr until a signal stops it, registering with the coordinator when
 // one is configured.
 func serveWorker(cfg serveConfig, stdout io.Writer) error {
+	ps, err := openPersistentStore(cfg.storeDir, stdout)
+	if err != nil {
+		return err
+	}
+	if ps != nil {
+		cfg.exp.Store = ps
+		defer ps.Close()
+	}
 	fmt.Fprintf(stdout, "pes-serve: training the predictor (%d traces/app)...\n", cfg.exp.TrainTracesPerApp)
 	w, err := cluster.NewWorker(cfg.exp)
 	if err != nil {
@@ -288,8 +317,8 @@ func serveWorker(cfg serveConfig, stdout io.Writer) error {
 		return err
 	}
 	st := w.Stats()
-	fmt.Fprintf(stdout, "pes-serve: worker served %d sessions (%d simulated, %d from cache, %d evicted)\n",
-		st.Sessions, st.UniqueRuns, st.CacheHits, st.CacheEvictions)
+	fmt.Fprintf(stdout, "pes-serve: worker served %d sessions (%d simulated, %d from cache, %d from store, %d evicted)\n",
+		st.Sessions, st.UniqueRuns, st.CacheHits, st.StoreHits, st.CacheEvictions)
 	return nil
 }
 
@@ -298,6 +327,14 @@ func serveWorker(cfg serveConfig, stdout io.Writer) error {
 // campaigns are sharded across the (elastic) cluster; otherwise they
 // execute in-process.
 func serve(cfg serveConfig, stdout io.Writer) error {
+	ps, err := openPersistentStore(cfg.storeDir, stdout)
+	if err != nil {
+		return err
+	}
+	if ps != nil {
+		cfg.exp.Store = ps
+		defer ps.Close()
+	}
 	fmt.Fprintf(stdout, "pes-serve: training the predictor (%d traces/app)...\n", cfg.exp.TrainTracesPerApp)
 	srvCfg := server.Config{Experiments: cfg.exp, JobWorkers: cfg.jobs}
 	var coord *cluster.Coordinator
@@ -338,7 +375,7 @@ func serve(cfg serveConfig, stdout io.Writer) error {
 		return err
 	}
 	st := svc.Stats()
-	fmt.Fprintf(stdout, "pes-serve: served %d sessions (%d simulated, %d from cache; %d solves, %d plan-cache hits)\n",
-		st.Sessions, st.UniqueRuns, st.CacheHits, st.Solver.Solves, st.Solver.PlanCacheHits)
+	fmt.Fprintf(stdout, "pes-serve: served %d sessions (%d simulated, %d from cache, %d from store; %d solves, %d plan-cache hits)\n",
+		st.Sessions, st.UniqueRuns, st.CacheHits, st.StoreHits, st.Solver.Solves, st.Solver.PlanCacheHits)
 	return nil
 }

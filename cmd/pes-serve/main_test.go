@@ -29,6 +29,8 @@ const goldenUsage = `Usage of pes-serve:
     	simulation worker-pool size (0 = number of CPUs)
   -seed int
     	harness seed (default 1)
+  -store string
+    	persistent store directory: session results, traces and trained models survive restarts (empty = in-memory only; one process per directory)
   -traces int
     	evaluation traces per application (figure endpoints) (default 3)
   -train int

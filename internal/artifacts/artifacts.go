@@ -40,6 +40,7 @@ package artifacts
 
 import (
 	"container/list"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -48,6 +49,7 @@ import (
 	"repro/internal/acmp"
 	"repro/internal/mlr"
 	"repro/internal/predictor"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/webapp"
 	"repro/internal/webevent"
@@ -139,6 +141,12 @@ type Stats struct {
 	// never changes an artifact's content, only whether it is rebuilt.
 	TraceEntries   int64 `json:"trace_entries"`
 	TraceEvictions int64 `json:"trace_evictions"`
+	// TraceStoreHits and LearnerStoreHits count artifacts loaded from the
+	// persistent store instead of regenerated/retrained (zero when none is
+	// attached). A learner store hit skips the SGD training entirely —
+	// usually the single most expensive artifact build in a process's life.
+	TraceStoreHits   int64 `json:"trace_store_hits"`
+	LearnerStoreHits int64 `json:"learner_store_hits"`
 	// PageBuilds and PageHits are the process-wide DOM page-tree cache
 	// counters (webapp.PageCacheStats); they are global, not per store.
 	PageBuilds int64 `json:"page_builds"`
@@ -156,12 +164,14 @@ type Store struct {
 	corpora      map[corpusKey]*corpusEntry
 	maxTraces    int        // 0 = unbounded
 	traceLRU     *list.List // completed trace keys, most recently used first
+	persist      *store.Store
 
 	traceBuilds, traceHits             atomic.Int64
 	runtimeBuilds, runtimeHits         atomic.Int64
 	fingerprintBuilds, fingerprintHits atomic.Int64
 	learnerBuilds, learnerHits         atomic.Int64
 	traceEvictions                     atomic.Int64
+	traceStoreHits, learnerStoreHits   atomic.Int64
 }
 
 // NewStore creates an empty artifact store. Most callers want Default; a
@@ -194,6 +204,20 @@ func (s *Store) WithMaxTraces(n int) *Store {
 	return s
 }
 
+// WithPersistent layers a persistent content-addressed store under the
+// in-memory caches: traces and trained learners are written through on
+// first build and loaded back — skipping generation and SGD training — in
+// later processes (or sibling stores) sharing the directory. Runtime events,
+// fingerprints and corpora are cheap derivations and stay memory-only. The
+// persistent store's singleflight keeps builds exactly-once even across
+// several artifact stores sharing it. Set before the store is shared across
+// goroutines; ps may be nil (no persistence, the default). It returns the
+// store for chaining.
+func (s *Store) WithPersistent(ps *store.Store) *Store {
+	s.persist = ps
+	return s
+}
+
 // owns reports whether the store generated the trace (and thus keeps its
 // derived artifacts).
 func (s *Store) owns(tr *trace.Trace) bool {
@@ -219,6 +243,8 @@ func (s *Store) Stats() Stats {
 		LearnerHits:       s.learnerHits.Load(),
 		TraceEntries:      entries,
 		TraceEvictions:    s.traceEvictions.Load(),
+		TraceStoreHits:    s.traceStoreHits.Load(),
+		LearnerStoreHits:  s.learnerStoreHits.Load(),
 		PageBuilds:        pageBuilds,
 		PageHits:          pageHits,
 	}
@@ -248,16 +274,49 @@ func (s *Store) Trace(spec *webapp.Spec, seed int64, purpose string, opts trace.
 		s.traceHits.Add(1)
 	}
 	e.once.Do(func() {
-		s.traceBuilds.Add(1)
-		tr := trace.Generate(spec, seed, opts)
-		tr.Purpose = purpose
+		e.tr = s.buildTrace(spec, seed, purpose, opts)
 		s.mu.Lock()
-		s.owned[tr] = true
+		s.owned[e.tr] = true
 		s.mu.Unlock()
-		e.tr = tr
 	})
 	s.touchTrace(k, e)
 	return e.tr
+}
+
+// buildTrace resolves a trace-cache miss: plain generation without a
+// persistent store, get-or-build through it otherwise. A loaded trace is
+// bit-equivalent to a generated one (trace.Trace round-trips through JSON
+// exactly, floats included), so fingerprints — and through them the batch
+// memo keys — are identical either way.
+func (s *Store) buildTrace(spec *webapp.Spec, seed int64, purpose string, opts trace.Options) *trace.Trace {
+	generate := func() *trace.Trace {
+		s.traceBuilds.Add(1)
+		tr := trace.Generate(spec, seed, opts)
+		tr.Purpose = purpose
+		return tr
+	}
+	if s.persist == nil {
+		return generate()
+	}
+	key := fmt.Sprintf("trace|%s|%d|%s|%+v", spec.Name, seed, purpose, opts)
+	var built *trace.Trace
+	val, _, err := s.persist.GetOrBuild(key, func() ([]byte, error) {
+		built = generate()
+		return json.Marshal(built)
+	})
+	if built != nil {
+		return built
+	}
+	if err == nil {
+		tr := new(trace.Trace)
+		if err := json.Unmarshal(val, tr); err == nil {
+			s.traceStoreHits.Add(1)
+			return tr
+		}
+	}
+	// Store trouble (encode/decode mismatch from a foreign writer) never
+	// fails a trace request — generation is always available.
+	return generate()
 }
 
 // touchTrace marks a trace entry most-recently-used once it is built and
@@ -400,14 +459,59 @@ func (s *Store) Learner(k LearnerKey) (*predictor.SequenceLearner, trace.Corpus,
 		s.learnerHits.Add(1)
 	}
 	e.once.Do(func() {
-		s.learnerBuilds.Add(1)
+		// The corpus is needed in both paths: a freshly trained learner fits
+		// on it, and a store-loaded one is still returned alongside it (the
+		// harness replays training traces for its own reporting). Corpus
+		// traces go through the per-trace cache, so a persistent store warms
+		// them too.
 		corpus := s.Corpus(webapp.SeenApps(), k.TracesPerApp, k.CorpusSeed, trace.PurposeTrain, trace.Options{})
-		learner := predictor.NewSequenceLearner()
-		if err := learner.Train(corpus, mlr.TrainConfig{Seed: k.TrainSeed}); err != nil {
-			e.err = fmt.Errorf("artifacts: training %+v: %w", k, err)
+		train := func() (*predictor.SequenceLearner, error) {
+			s.learnerBuilds.Add(1)
+			learner := predictor.NewSequenceLearner()
+			if err := learner.Train(corpus, mlr.TrainConfig{Seed: k.TrainSeed}); err != nil {
+				return nil, fmt.Errorf("artifacts: training %+v: %w", k, err)
+			}
+			return learner, nil
+		}
+		if s.persist == nil {
+			e.learner, e.err = train()
+			e.corpus = corpus
 			return
 		}
-		e.learner, e.corpus = learner, corpus
+		// The key is configuration-addressed, not content-addressed — safe
+		// because training is deterministic: equal configurations produce
+		// bit-identical models, which is the same contract LearnerKey
+		// already guarantees in memory.
+		key := fmt.Sprintf("learner|tpa=%d|corpus=%d|train=%d", k.TracesPerApp, k.CorpusSeed, k.TrainSeed)
+		var built *predictor.SequenceLearner
+		val, _, err := s.persist.GetOrBuild(key, func() ([]byte, error) {
+			l, err := train()
+			if err != nil {
+				return nil, err
+			}
+			built = l
+			return json.Marshal(l.Model())
+		})
+		if built != nil {
+			e.learner, e.corpus = built, corpus
+			return
+		}
+		if err != nil {
+			e.err = err
+			return
+		}
+		m := new(mlr.Model)
+		if err := json.Unmarshal(val, m); err == nil {
+			if l, lerr := predictor.LearnerFromModel(m); lerr == nil {
+				s.learnerStoreHits.Add(1)
+				e.learner, e.corpus = l, corpus
+				return
+			}
+		}
+		// A stored model that doesn't decode or doesn't match the current
+		// feature shape (written by an older build) falls back to training.
+		e.learner, e.err = train()
+		e.corpus = corpus
 	})
 	return e.learner, e.corpus, e.err
 }

@@ -9,6 +9,8 @@ package batch
 
 import (
 	"container/list"
+	"encoding/json"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/artifacts"
 	"repro/internal/engine"
 	"repro/internal/optimizer"
+	"repro/internal/store"
 )
 
 // Key identifies one unique session simulation. Two sessions with equal keys
@@ -66,9 +69,16 @@ type Stats struct {
 	// next request — results are deterministic, so eviction never changes
 	// what a session returns, only whether it is recomputed.
 	CacheEvictions int64
+	// StoreHits is the number of sessions served from the persistent store
+	// (zero when none is attached): the memo cache missed, but the session's
+	// result was already on disk — from an earlier process, another runner
+	// sharing the store, or an entry this runner built and later evicted —
+	// so no simulation ran. Store-served sessions count toward neither
+	// UniqueRuns nor CacheHits.
+	StoreHits int64
 	// Solver sums the constrained-optimization work of the unique runs
-	// (sessions served from the memo cache contribute nothing — their
-	// solver work was never repeated).
+	// (sessions served from the memo cache or the persistent store
+	// contribute nothing — their solver work was never repeated).
 	Solver optimizer.SolverStats
 	// Artifacts snapshots the shared artifact store attached to the runner
 	// (nil when none is attached): how often the session inputs — traces,
@@ -77,6 +87,10 @@ type Stats struct {
 	// sibling fields' (untagged) PascalCase so the served stats payload
 	// keeps one casing style.
 	Artifacts *artifacts.Stats `json:"Artifacts,omitempty"`
+	// Store snapshots the persistent store attached to the runner (nil when
+	// none is attached): records on disk, recovery outcome, raw hit/miss
+	// counters. Tagged PascalCase to match the sibling untagged fields.
+	Store *store.Stats `json:"Store,omitempty"`
 }
 
 // Runner executes batches of sessions on a worker pool with a memoized
@@ -85,6 +99,7 @@ type Stats struct {
 type Runner struct {
 	workers   int
 	artifacts *artifacts.Store
+	persist   *store.Store
 
 	mu         sync.Mutex
 	cache      map[Key]*entry
@@ -94,6 +109,7 @@ type Runner struct {
 	sessions   atomic.Int64
 	uniqueRuns atomic.Int64
 	cacheHits  atomic.Int64
+	storeHits  atomic.Int64
 	evictions  atomic.Int64
 
 	solverMu sync.Mutex
@@ -144,6 +160,34 @@ func (r *Runner) AttachArtifacts(s *artifacts.Store) *Runner {
 	return r
 }
 
+// WithStore layers a persistent content-addressed store under the in-memory
+// memo cache: every memo miss consults the store before simulating, and
+// every fresh simulation is written through. Results decode from stored
+// bytes bit-identically (engine.Result round-trips through JSON exactly), so
+// a store-served session is indistinguishable from a memoized one — which is
+// also what makes LRU eviction cheap: an evicted entry falls back to a store
+// hit instead of a re-simulation. Several Runners may share one store (the
+// store's own singleflight keeps builds exactly-once across them); set it
+// before the runner is shared across goroutines. It returns the runner for
+// chaining; ps may be nil (no persistence, the default).
+func (r *Runner) WithStore(ps *store.Store) *Runner {
+	r.persist = ps
+	return r
+}
+
+// PersistentStore returns the persistent store attached with WithStore, or
+// nil.
+func (r *Runner) PersistentStore() *store.Store { return r.persist }
+
+// storeKey renders a memo key as the persistent store's content address.
+// Every component of Key is content-derived (Variant carries the platform,
+// trace and learner fingerprints), so equal strings across processes mean
+// bit-identical results.
+func storeKey(k Key) string {
+	return fmt.Sprintf("result|%s|%s|%d|%s|%s|%s",
+		k.Platform, k.App, k.TraceSeed, k.Scheduler, k.Predictor, k.Variant)
+}
+
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() Stats {
 	r.solverMu.Lock()
@@ -158,11 +202,16 @@ func (r *Runner) Stats() Stats {
 		CacheHits:      r.cacheHits.Load(),
 		CacheEntries:   entries,
 		CacheEvictions: r.evictions.Load(),
+		StoreHits:      r.storeHits.Load(),
 		Solver:         solver,
 	}
 	if r.artifacts != nil {
 		a := r.artifacts.Stats()
 		st.Artifacts = &a
+	}
+	if r.persist != nil {
+		p := r.persist.Stats()
+		st.Store = &p
 	}
 	return st
 }
@@ -219,19 +268,62 @@ func (r *Runner) one(s Session) (*engine.Result, error) {
 	hit := true
 	e.once.Do(func() {
 		hit = false
-		r.uniqueRuns.Add(1)
-		e.res, e.err = s.Run()
-		if e.res != nil {
-			r.solverMu.Lock()
-			r.solver = r.solver.Add(e.res.Solver)
-			r.solverMu.Unlock()
-		}
+		e.res, e.err = r.build(s)
 	})
 	r.touch(s.Key, e)
 	if hit {
 		r.cacheHits.Add(1)
 	}
 	return e.res, e.err
+}
+
+// build resolves a memo-cache miss: straight simulation when no persistent
+// store is attached, otherwise get-or-build through the store. The store's
+// singleflight spans runners — when another runner sharing the store is
+// already simulating this key, we block on its build instead of starting a
+// second one. Only a simulation this runner actually executed counts as a
+// unique run and contributes solver stats; a session decoded from stored
+// bytes counts as a store hit.
+func (r *Runner) build(s Session) (*engine.Result, error) {
+	if r.persist == nil {
+		r.uniqueRuns.Add(1)
+		res, err := s.Run()
+		r.addSolver(res)
+		return res, err
+	}
+	var built *engine.Result
+	val, _, err := r.persist.GetOrBuild(storeKey(s.Key), func() ([]byte, error) {
+		res, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		built = res
+		return json.Marshal(res)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if built != nil {
+		r.uniqueRuns.Add(1)
+		r.addSolver(built)
+		return built, nil
+	}
+	res := new(engine.Result)
+	if err := json.Unmarshal(val, res); err != nil {
+		return nil, fmt.Errorf("batch: decoding stored result for %s: %w", storeKey(s.Key), err)
+	}
+	r.storeHits.Add(1)
+	return res, nil
+}
+
+// addSolver folds a unique run's solver work into the aggregate.
+func (r *Runner) addSolver(res *engine.Result) {
+	if res == nil {
+		return
+	}
+	r.solverMu.Lock()
+	r.solver = r.solver.Add(res.Solver)
+	r.solverMu.Unlock()
 }
 
 // Run simulates every session and returns the results index-aligned with

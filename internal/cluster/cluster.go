@@ -451,6 +451,7 @@ func (c *Coordinator) Stats() Stats {
 		st.Remote.CacheHits += ws.CacheHits
 		st.Remote.CacheEntries += ws.CacheEntries
 		st.Remote.CacheEvictions += ws.CacheEvictions
+		st.Remote.StoreHits += ws.StoreHits
 		st.Remote.Solver = st.Remote.Solver.Add(ws.Solver)
 	}
 	c.mu.Unlock()

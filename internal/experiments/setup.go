@@ -11,6 +11,7 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/sched"
 	"repro/internal/sessions"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/webapp"
 )
@@ -55,6 +56,13 @@ type Config struct {
 	// process-wide artifacts.Default. Tests inject private stores to get
 	// isolated counters.
 	Artifacts *artifacts.Store
+	// Store optionally layers a persistent content-addressed store under
+	// both the artifact caches (traces, trained learners) and the session
+	// memo cache: a restarted process pointed at the same directory serves
+	// repeated campaigns from disk with zero re-simulation and no training.
+	// Nil (the default) keeps everything in memory. The caller owns the
+	// store's lifecycle (Open/Close).
+	Store *store.Store
 	// OracleVersion selects the Oracle solver for every Oracle session of
 	// the campaign (zero value = sched.DefaultOracleVersion). Paper-exact
 	// figures use sched.OracleV1.
@@ -126,6 +134,12 @@ func NewSetup(cfg Config) (*Setup, error) {
 	if store == nil {
 		store = artifacts.Default
 	}
+	if cfg.Store != nil {
+		// Layer the persistent store under the artifact caches before any
+		// artifact is requested, so the learner/corpus builds below already
+		// go through it.
+		store.WithPersistent(cfg.Store)
+	}
 	if cfg.CacheMaxEntries > 0 {
 		// A memo entry is one (app, seed, scheduler, predictor) tuple; its
 		// trace is shared by every scheduler, so the trace cache needs far
@@ -146,7 +160,7 @@ func NewSetup(cfg Config) (*Setup, error) {
 		Learner:   learner,
 		Train:     train,
 		Eval:      eval,
-		Runner:    batch.NewRunner(cfg.Parallel).WithMaxEntries(cfg.CacheMaxEntries).AttachArtifacts(store),
+		Runner:    batch.NewRunner(cfg.Parallel).WithMaxEntries(cfg.CacheMaxEntries).AttachArtifacts(store).WithStore(cfg.Store),
 		Artifacts: store,
 	}, nil
 }

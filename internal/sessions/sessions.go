@@ -5,7 +5,10 @@
 package sessions
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"strings"
 	"sync"
 
@@ -68,24 +71,42 @@ type Spec struct {
 	OracleVersion sched.OracleVersion
 }
 
-// learnerIDs assigns each trained learner a stable per-process identifier
-// for memo keys. The map retains the learner, so an identifier can never be
-// reused for a different instance (unlike a raw pointer address); the pin is
-// bounded by the number of trainings in the process.
+// learnerFPs caches each trained learner's content fingerprint — an FNV-64a
+// hash of the model's shape and weight bits. Unlike the per-process
+// sequential identifier it replaced, the fingerprint is stable across
+// restarts and equal exactly when the trained weights are equal, which is
+// what lets PES memo keys address a persistent store: two processes that
+// trained the same model (training is deterministic) produce the same key,
+// and two differently-trained models can never alias. The map retains the
+// learner, bounded by the number of trainings in the process; models are
+// immutable once trained, so the cached hash never goes stale.
 var (
 	learnerMu  sync.Mutex
-	learnerIDs = map[*predictor.SequenceLearner]int{}
+	learnerFPs = map[*predictor.SequenceLearner]string{}
 )
 
-func learnerID(l *predictor.SequenceLearner) int {
+func learnerFingerprint(l *predictor.SequenceLearner) string {
 	learnerMu.Lock()
 	defer learnerMu.Unlock()
-	id, ok := learnerIDs[l]
+	fp, ok := learnerFPs[l]
 	if !ok {
-		id = len(learnerIDs) + 1
-		learnerIDs[l] = id
+		m := l.Model()
+		h := fnv.New64a()
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(m.NumFeatures))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(m.NumClasses))
+		h.Write(buf[:])
+		for _, row := range m.Weights {
+			for _, w := range row {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(w))
+				h.Write(buf[:])
+			}
+		}
+		fp = fmt.Sprintf("%016x", h.Sum64())
+		learnerFPs[l] = fp
 	}
-	return id
+	return fp
 }
 
 // predictorKey canonically encodes a predictor configuration for session
@@ -162,10 +183,11 @@ func New(s Spec) (batch.Session, error) {
 		}
 		learner, predCfg := s.Learner, s.Predictor
 		key.Predictor = predictorKey(predCfg)
-		// PES results depend on the trained model; fingerprint the learner
-		// instance so sessions built from different trainings never share a
-		// cache slot (the memo cache lives in-process, so identity suffices).
-		key.Variant += fmt.Sprintf(",learner=%d", learnerID(learner))
+		// PES results depend on the trained model; fingerprint the model
+		// content so sessions built from different trainings never share a
+		// cache slot, while identically-trained models — in this process or
+		// a restarted one addressing a persistent store — share exactly one.
+		key.Variant += fmt.Sprintf(",learner=%s", learnerFingerprint(learner))
 		run = func() (*engine.Result, error) {
 			evs, err := store.Runtime(tr)
 			if err != nil {

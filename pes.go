@@ -36,6 +36,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/sessions"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/webapp"
 	"repro/internal/webevent"
@@ -218,6 +219,27 @@ func SharedArtifacts() *ArtifactStore { return artifacts.Default }
 // NewArtifactStore creates an empty, private artifact store (for isolation
 // in tests and cold-path benchmarks; most callers want SharedArtifacts).
 func NewArtifactStore() *ArtifactStore { return artifacts.NewStore() }
+
+// Persistent content-addressed storage.
+type (
+	// PersistentStore is the disk-backed content-addressed store: an
+	// append-only checksummed record log that survives restarts, layered
+	// under the batch memo cache (BatchRunner.WithStore), the artifact
+	// caches (ArtifactStore.WithPersistent) and the experiment harness
+	// (ExperimentConfig.Store). Campaigns re-run against the same directory
+	// serve every repeated session from disk — zero re-simulation, byte-
+	// identical results. One process per directory.
+	PersistentStore = store.Store
+	// PersistentStoreStats snapshots a PersistentStore's recovery outcome
+	// (records recovered, corrupt records skipped, torn bytes dropped) and
+	// hit/miss counters; it appears in BatchStats when a store is attached.
+	PersistentStoreStats = store.Stats
+)
+
+// OpenStore opens (or creates) the persistent store in dir, recovering all
+// intact records from its log; torn tails are truncated and corrupt records
+// skipped with a counted warning. Close it when done.
+func OpenStore(dir string) (*PersistentStore, error) { return store.Open(dir) }
 
 // RunBatch simulates many sessions concurrently on a fresh runner and
 // returns the results index-aligned with the input. Sessions with equal keys
