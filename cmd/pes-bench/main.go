@@ -97,6 +97,11 @@ type StoreReport struct {
 	// store instead of rebuilt; a warm start skips SGD training entirely.
 	TraceStoreHits   int64 `json:"trace_store_hits"`
 	LearnerStoreHits int64 `json:"learner_store_hits"`
+	// SyncEvery echoes -store-sync and Syncs counts the fsyncs it caused —
+	// with WallMS, the durability overhead in benchmark form (compare a
+	// -store-sync run's wall time against a no-fsync run of the same dir).
+	SyncEvery int   `json:"sync_every,omitempty"`
+	Syncs     int64 `json:"syncs,omitempty"`
 	// WallMS is the campaign wall time (host measurement, not gated).
 	WallMS float64 `json:"wall_ms"`
 }
@@ -244,8 +249,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	oracle := fs.String("oracle", "", "oracle solver version for the session/throughput benchmarks: v2 (default) or v1 (reproduces the BENCH_pr4 Oracle figures)")
 	storeDir := fs.String("store", "", "persistent store directory for the warm-start section (first run populates it; a re-run must report hit_rate 1)")
+	storeSync := fs.Int("store-sync", 0, "fsync the -store log every n record writes during the warm-start section (0 = no fsync), to measure durability overhead")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *storeSync < 0 {
+		return fmt.Errorf("-store-sync must not be negative")
+	}
+	if *storeSync > 0 && *storeDir == "" {
+		return fmt.Errorf("-store-sync requires -store")
 	}
 	oracleVer, err := sched.ParseOracleVersion(*oracle)
 	if err != nil {
@@ -286,7 +298,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		rep.Figures = figures
 	}
 	if *storeDir != "" {
-		storeRep, err := benchStore(*storeDir, oracleVer)
+		storeRep, err := benchStore(*storeDir, *storeSync, oracleVer)
 		if err != nil {
 			return err
 		}
@@ -334,8 +346,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 // full training+simulation cost and populates the log; re-running against
 // the populated dir trains nothing, simulates nothing, and reports
 // hit_rate 1.
-func benchStore(dir string, oracleVer sched.OracleVersion) (*StoreReport, error) {
-	ps, err := store.Open(dir)
+func benchStore(dir string, syncEvery int, oracleVer sched.OracleVersion) (*StoreReport, error) {
+	var opts []store.Option
+	if syncEvery > 0 {
+		opts = append(opts, store.WithSyncEvery(syncEvery))
+	}
+	ps, err := store.Open(dir, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -397,6 +413,8 @@ func benchStore(dir string, oracleVer sched.OracleVersion) (*StoreReport, error)
 		rep.TraceStoreHits = st.Artifacts.TraceStoreHits
 		rep.LearnerStoreHits = st.Artifacts.LearnerStoreHits
 	}
+	rep.SyncEvery = syncEvery
+	rep.Syncs = ps.Stats().Syncs
 	return rep, nil
 }
 

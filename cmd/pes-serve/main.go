@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"os"
@@ -48,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/sched"
@@ -71,6 +73,9 @@ type serveConfig struct {
 	coordinator string
 	advertise   string
 	storeDir    string
+	storeSync   int
+	drain       time.Duration
+	chaos       chaos.Config
 	exp         experiments.Config
 }
 
@@ -102,8 +107,15 @@ func parseArgs(args []string, stderr io.Writer) (serveConfig, error) {
 	advertise := fs.String("advertise", "", "address the coordinator reaches this worker at (default: derived from -addr)")
 	oracle := fs.String("oracle", "", "oracle solver version: v2 (default, fast path) or v1 (paper-exact reference figures); cluster processes must agree")
 	storeDir := fs.String("store", "", "persistent store directory: session results, traces and trained models survive restarts (empty = in-memory only; one process per directory)")
+	storeSync := fs.Int("store-sync", 0, "fsync the -store log every n record writes; campaign terminal states always fsync when set (0 = rely on the OS page cache)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline for running campaigns when -store journals them; unfinished campaigns resume on the next boot")
+	chaosSpec := fs.String("chaos", "", "deterministic fault-injection spec for resilience testing, e.g. seed=1,fault=0.05,torn=0.02,latency=0.1,latency_max=20ms,ping=0.05,short_write=0.01 (empty = off; never set in production)")
 	if err := fs.Parse(args); err != nil {
 		return serveConfig{}, err
+	}
+	chaosCfg, err := chaos.ParseSpec(*chaosSpec)
+	if err != nil {
+		return serveConfig{}, fmt.Errorf("-chaos: %w", err)
 	}
 	oracleVer, err := sched.ParseOracleVersion(*oracle)
 	if err != nil {
@@ -123,6 +135,15 @@ func parseArgs(args []string, stderr io.Writer) (serveConfig, error) {
 	}
 	if *cacheMax < 0 {
 		return serveConfig{}, fmt.Errorf("-cache-max-entries must not be negative")
+	}
+	if *storeSync < 0 {
+		return serveConfig{}, fmt.Errorf("-store-sync must not be negative")
+	}
+	if *storeSync > 0 && *storeDir == "" {
+		return serveConfig{}, fmt.Errorf("-store-sync requires -store")
+	}
+	if *drain <= 0 {
+		return serveConfig{}, fmt.Errorf("-drain must be positive")
 	}
 	if *worker && *workers != "" {
 		return serveConfig{}, fmt.Errorf("-worker and -workers are mutually exclusive (a process is either a worker or a coordinator)")
@@ -166,6 +187,9 @@ func parseArgs(args []string, stderr io.Writer) (serveConfig, error) {
 		coordinator: *coordinator,
 		advertise:   adv,
 		storeDir:    *storeDir,
+		storeSync:   *storeSync,
+		drain:       *drain,
+		chaos:       chaosCfg,
 		exp:         cfg,
 	}, nil
 }
@@ -215,7 +239,11 @@ func coordinatorURL(c string) string {
 // registerLoop announces the worker to the coordinator: immediately, then
 // periodically — registration is idempotent, so re-announcing heals both a
 // restarted coordinator and a membership entry marked unhealthy while this
-// worker was briefly unreachable. The returned stop function ends the loop
+// worker was briefly unreachable. Re-announcement paces itself: a steady
+// 15s heartbeat while registered, jittered exponential backoff (1s doubling
+// to 60s) while the coordinator is unreachable — a coordinator rebooting
+// under a large worker fleet sees staggered re-registrations instead of a
+// synchronized stampede every 15s. The returned stop function ends the loop
 // and deregisters (best effort).
 func registerLoop(coordinator, advertise string, stdout io.Writer) (stop func()) {
 	base := coordinatorURL(coordinator)
@@ -236,22 +264,35 @@ func registerLoop(coordinator, advertise string, stdout io.Writer) (stop func())
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		const (
+			steady      = 15 * time.Second
+			backoffBase = time.Second
+			backoffMax  = time.Minute
+		)
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		backoff := backoffBase
 		registered := false
-		if announce() {
-			registered = true
-			fmt.Fprintf(stdout, "pes-serve: registered %s with coordinator %s\n", advertise, coordinator)
-		}
-		ticker := time.NewTicker(15 * time.Second)
-		defer ticker.Stop()
 		for {
-			select {
-			case <-done:
-				return
-			case <-ticker.C:
-				if announce() && !registered {
+			var wait time.Duration
+			if announce() {
+				if !registered {
 					registered = true
 					fmt.Fprintf(stdout, "pes-serve: registered %s with coordinator %s\n", advertise, coordinator)
 				}
+				backoff = backoffBase
+				wait = steady
+			} else {
+				registered = false
+				wait = backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+				backoff *= 2
+				if backoff > backoffMax {
+					backoff = backoffMax
+				}
+			}
+			select {
+			case <-done:
+				return
+			case <-time.After(wait):
 			}
 		}
 	}()
@@ -269,20 +310,43 @@ func registerLoop(coordinator, advertise string, stdout io.Writer) (stop func())
 	}
 }
 
-// openPersistentStore opens the -store directory when one is configured and
-// reports the recovery outcome; an empty dir means in-memory only (nil
-// store).
-func openPersistentStore(dir string, stdout io.Writer) (*store.Store, error) {
-	if dir == "" {
+// newInjector builds the process-wide fault injector when -chaos selects
+// any faults, announcing it loudly: a production process with chaos enabled
+// should be impossible to miss in the logs.
+func newInjector(cfg serveConfig, stdout io.Writer) *chaos.Injector {
+	if !cfg.chaos.Enabled() {
+		return nil
+	}
+	fmt.Fprintf(stdout, "pes-serve: CHAOS ENABLED (%+v) — injected faults ahead, do not trust this process with real work\n", cfg.chaos)
+	return chaos.New(cfg.chaos)
+}
+
+// openPersistentStore opens the -store directory when one is configured,
+// applying the -store-sync fsync cadence and (resilience testing only) the
+// chaos file wrapper, and reports the recovery outcome; an empty dir means
+// in-memory only (nil store).
+func openPersistentStore(cfg serveConfig, in *chaos.Injector, stdout io.Writer) (*store.Store, error) {
+	if cfg.storeDir == "" {
 		return nil, nil
 	}
-	ps, err := store.Open(dir)
+	var opts []store.Option
+	if cfg.storeSync > 0 {
+		opts = append(opts, store.WithSyncEvery(cfg.storeSync))
+	}
+	if in != nil {
+		opts = append(opts, store.WithFileWrapper(in.WrapFile))
+	}
+	ps, err := store.Open(cfg.storeDir, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("opening -store: %w", err)
 	}
 	st := ps.Stats()
-	fmt.Fprintf(stdout, "pes-serve: persistent store %s: %d records recovered (%d corrupt skipped, %d torn bytes dropped)\n",
-		dir, st.Recovered, st.CorruptRecords, st.TornBytes)
+	sync := "no fsync"
+	if cfg.storeSync > 0 {
+		sync = fmt.Sprintf("fsync every %d records", cfg.storeSync)
+	}
+	fmt.Fprintf(stdout, "pes-serve: persistent store %s: %d records recovered (%d corrupt skipped, %d torn bytes dropped; %s)\n",
+		cfg.storeDir, st.Recovered, st.CorruptRecords, st.TornBytes, sync)
 	return ps, nil
 }
 
@@ -290,7 +354,8 @@ func openPersistentStore(dir string, stdout io.Writer) (*store.Store, error) {
 // cfg.addr until a signal stops it, registering with the coordinator when
 // one is configured.
 func serveWorker(cfg serveConfig, stdout io.Writer) error {
-	ps, err := openPersistentStore(cfg.storeDir, stdout)
+	in := newInjector(cfg, stdout)
+	ps, err := openPersistentStore(cfg, in, stdout)
 	if err != nil {
 		return err
 	}
@@ -319,6 +384,9 @@ func serveWorker(cfg serveConfig, stdout io.Writer) error {
 	st := w.Stats()
 	fmt.Fprintf(stdout, "pes-serve: worker served %d sessions (%d simulated, %d from cache, %d from store, %d evicted)\n",
 		st.Sessions, st.UniqueRuns, st.CacheHits, st.StoreHits, st.CacheEvictions)
+	if in != nil {
+		fmt.Fprintf(stdout, "pes-serve: chaos injected: %s\n", in.Stats().Summary())
+	}
 	return nil
 }
 
@@ -327,7 +395,8 @@ func serveWorker(cfg serveConfig, stdout io.Writer) error {
 // campaigns are sharded across the (elastic) cluster; otherwise they
 // execute in-process.
 func serve(cfg serveConfig, stdout io.Writer) error {
-	ps, err := openPersistentStore(cfg.storeDir, stdout)
+	in := newInjector(cfg, stdout)
+	ps, err := openPersistentStore(cfg, in, stdout)
 	if err != nil {
 		return err
 	}
@@ -336,11 +405,15 @@ func serve(cfg serveConfig, stdout io.Writer) error {
 		defer ps.Close()
 	}
 	fmt.Fprintf(stdout, "pes-serve: training the predictor (%d traces/app)...\n", cfg.exp.TrainTracesPerApp)
-	srvCfg := server.Config{Experiments: cfg.exp, JobWorkers: cfg.jobs}
+	srvCfg := server.Config{Experiments: cfg.exp, JobWorkers: cfg.jobs, DrainTimeout: cfg.drain}
 	var coord *cluster.Coordinator
 	if len(cfg.workers) > 0 || cfg.clusterMode {
 		var err error
-		coord, err = cluster.New(cluster.Config{Workers: cfg.workers, OracleVersion: cfg.exp.OracleVersion})
+		clCfg := cluster.Config{Workers: cfg.workers, OracleVersion: cfg.exp.OracleVersion}
+		if in != nil {
+			clCfg.Transport = in.WrapTransport(cluster.NewHTTPTransport())
+		}
+		coord, err = cluster.New(clCfg)
 		if err != nil {
 			return err
 		}
@@ -352,6 +425,9 @@ func serve(cfg serveConfig, stdout io.Writer) error {
 			coord.Close()
 		}
 		return err
+	}
+	if n := svc.Resumed(); n > 0 {
+		fmt.Fprintf(stdout, "pes-serve: resumed %d journaled campaign(s); completed sessions replay from the store\n", n)
 	}
 
 	if coord != nil {
@@ -365,8 +441,11 @@ func serve(cfg serveConfig, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "pes-serve: listening on %s (%d simulation workers, %d campaign workers)\n",
 			cfg.addr, svc.Setup().Runner.Workers(), cfg.jobs)
 	}
-	err = listenUntilSignal(cfg.addr, svc.Handler(), stdout,
-		"pes-serve: shutting down (queued campaigns are canceled, running ones finish)")
+	shutdownMsg := "pes-serve: shutting down (queued campaigns are canceled, running ones finish)"
+	if ps != nil {
+		shutdownMsg = fmt.Sprintf("pes-serve: draining (running campaigns get %s; unfinished ones stay journaled and resume on the next boot)", cfg.drain)
+	}
+	err = listenUntilSignal(cfg.addr, svc.Handler(), stdout, shutdownMsg)
 	svc.Close()
 	if coord != nil {
 		coord.Close()
@@ -377,5 +456,8 @@ func serve(cfg serveConfig, stdout io.Writer) error {
 	st := svc.Stats()
 	fmt.Fprintf(stdout, "pes-serve: served %d sessions (%d simulated, %d from cache, %d from store; %d solves, %d plan-cache hits)\n",
 		st.Sessions, st.UniqueRuns, st.CacheHits, st.StoreHits, st.Solver.Solves, st.Solver.PlanCacheHits)
+	if in != nil {
+		fmt.Fprintf(stdout, "pes-serve: chaos injected: %s\n", in.Stats().Summary())
+	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"strings"
 	"testing"
+	"time"
 )
 
 // goldenUsage pins the full -h output of the command: the flag set is the
@@ -17,10 +18,14 @@ const goldenUsage = `Usage of pes-serve:
     	address the coordinator reaches this worker at (default: derived from -addr)
   -cache-max-entries int
     	LRU bound on the session memo cache and artifact store (0 = unbounded)
+  -chaos string
+    	deterministic fault-injection spec for resilience testing, e.g. seed=1,fault=0.05,torn=0.02,latency=0.1,latency_max=20ms,ping=0.05,short_write=0.01 (empty = off; never set in production)
   -cluster
     	run as a cluster coordinator even with no static -workers (workers join via -coordinator registration)
   -coordinator string
     	coordinator URL this worker registers with on startup (worker mode only)
+  -drain duration
+    	graceful-shutdown deadline for running campaigns when -store journals them; unfinished campaigns resume on the next boot (default 30s)
   -jobs int
     	campaigns executed concurrently (default 2)
   -oracle string
@@ -31,6 +36,8 @@ const goldenUsage = `Usage of pes-serve:
     	harness seed (default 1)
   -store string
     	persistent store directory: session results, traces and trained models survive restarts (empty = in-memory only; one process per directory)
+  -store-sync int
+    	fsync the -store log every n record writes; campaign terminal states always fsync when set (0 = rely on the OS page cache)
   -traces int
     	evaluation traces per application (figure endpoints) (default 3)
   -train int
@@ -73,6 +80,11 @@ func TestParseArgsValidation(t *testing.T) {
 		{"coordinator without worker", []string{"-coordinator", "localhost:8080"}, "-coordinator requires -worker"},
 		{"advertise without coordinator", []string{"-worker", "-advertise", "localhost:9001"}, "-advertise requires -coordinator"},
 		{"empty worker address", []string{"-workers", "localhost:9001,,localhost:9002"}, "empty address"},
+		{"negative store-sync", []string{"-store", "/tmp/x", "-store-sync", "-1"}, "-store-sync"},
+		{"store-sync without store", []string{"-store-sync", "8"}, "requires -store"},
+		{"zero drain", []string{"-drain", "0s"}, "-drain"},
+		{"bad chaos key", []string{"-chaos", "explode=1"}, "unknown spec key"},
+		{"bad chaos probability", []string{"-chaos", "fault=1.5"}, "outside [0,1]"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -100,6 +112,24 @@ func TestParseArgsDefaults(t *testing.T) {
 	}
 	if cfg.worker || cfg.workers != nil || cfg.exp.CacheMaxEntries != 0 {
 		t.Errorf("cluster/cache defaults not zero: %+v", cfg)
+	}
+	if cfg.storeSync != 0 || cfg.drain != 30*time.Second || cfg.chaos.Enabled() {
+		t.Errorf("durability defaults wrong: sync=%d drain=%s chaos=%+v", cfg.storeSync, cfg.drain, cfg.chaos)
+	}
+}
+
+func TestParseArgsDurability(t *testing.T) {
+	var errOut bytes.Buffer
+	cfg, err := parseArgs([]string{"-store", "/tmp/pes", "-store-sync", "64", "-drain", "5s",
+		"-chaos", "seed=9,fault=0.1,latency=0.2,latency_max=5ms"}, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.storeSync != 64 || cfg.drain != 5*time.Second {
+		t.Errorf("sync=%d drain=%s, want 64/5s", cfg.storeSync, cfg.drain)
+	}
+	if !cfg.chaos.Enabled() || cfg.chaos.Seed != 9 || cfg.chaos.FaultP != 0.1 || cfg.chaos.MaxLatency != 5*time.Millisecond {
+		t.Errorf("chaos config not parsed: %+v", cfg.chaos)
 	}
 }
 

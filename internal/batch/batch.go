@@ -9,6 +9,7 @@ package batch
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -341,6 +342,17 @@ func (r *Runner) Run(sessions []Session) ([]*engine.Result, error) {
 // completed counts may arrive out of order; it must be cheap and safe for
 // concurrent use. A nil progress is ignored.
 func (r *Runner) RunWithProgress(sessions []Session, progress func(completed, total int)) ([]*engine.Result, error) {
+	return r.RunContext(context.Background(), sessions, progress)
+}
+
+// RunContext is RunWithProgress bounded by a context: the runner checks ctx
+// between sessions and stops dispatching new work once it is done, returning
+// ctx.Err() as the error (unless a session error came first). Simulations
+// already in flight run to completion — the engine is not preemptible — and
+// their results stay in the cache and the persistent store, so a canceled
+// batch re-run later costs only the sessions it never reached. Results for
+// unreached sessions are nil.
+func (r *Runner) RunContext(ctx context.Context, sessions []Session, progress func(completed, total int)) ([]*engine.Result, error) {
 	out := make([]*engine.Result, len(sessions))
 	var completed atomic.Int64
 	note := func() {
@@ -355,6 +367,12 @@ func (r *Runner) RunWithProgress(sessions []Session, progress func(completed, to
 	if workers <= 1 {
 		var firstErr error
 		for i, s := range sessions {
+			if err := ctx.Err(); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				break
+			}
 			res, err := r.one(s)
 			note()
 			if err != nil {
@@ -373,6 +391,13 @@ func (r *Runner) RunWithProgress(sessions []Session, progress func(completed, to
 		errMu    sync.Mutex
 		firstErr error
 	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -382,19 +407,21 @@ func (r *Runner) RunWithProgress(sessions []Session, progress func(completed, to
 				res, err := r.one(sessions[i])
 				note()
 				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
+					setErr(err)
 					continue
 				}
 				out[i] = res
 			}
 		}()
 	}
+feed:
 	for i := range sessions {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			setErr(ctx.Err())
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()

@@ -1,9 +1,11 @@
 package batch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/acmp"
@@ -365,5 +367,62 @@ func TestRunnerLRUBoundConcurrent(t *testing.T) {
 	}
 	if st.CacheEvictions == 0 {
 		t.Errorf("no evictions on a 2-slot cache over 6 keys: %+v", st)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			r := NewRunner(workers)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var started atomic.Int64
+			var sessions []Session
+			const total = 50
+			for i := 0; i < total; i++ {
+				i := i
+				sessions = append(sessions, Session{
+					Key: Key{Platform: "p", App: "a", TraceSeed: int64(i), Scheduler: "s"},
+					Run: func() (*engine.Result, error) {
+						// The 10th simulation triggers the cancellation; later
+						// sessions must never be dispatched.
+						if started.Add(1) == 10 {
+							cancel()
+						}
+						return &engine.Result{App: "a"}, nil
+					},
+				})
+			}
+			out, err := r.RunContext(ctx, sessions, nil)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("RunContext error = %v, want context.Canceled", err)
+			}
+			ran := started.Load()
+			if ran >= total {
+				t.Fatalf("cancellation did not stop dispatch: all %d sessions ran", total)
+			}
+			// Every completed session's result is retained (resumable work),
+			// every unreached session's slot is nil.
+			var got int
+			for _, res := range out {
+				if res != nil {
+					got++
+				}
+			}
+			if got == 0 || got > int(ran) {
+				t.Fatalf("%d results retained for %d started sessions", got, ran)
+			}
+			// A fresh uncanceled run completes the tail from the warm cache.
+			out2, err := r.RunContext(context.Background(), sessions, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, res := range out2 {
+				if res == nil {
+					t.Fatalf("re-run result %d missing", i)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,99 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/store"
+)
+
+// ErrCrashed is the error every file operation returns once the
+// crash-at-record-N trigger has fired: from the store's point of view the
+// process is dead, even though the test harness keeps running.
+var ErrCrashed = fmt.Errorf("chaos: injected crash (log file is gone)")
+
+// chaosFile injects short writes and crash-at-record-N around a store log
+// file. Reads stay clean — corrupting reads is the store test suite's own
+// job (it flips bytes on disk); chaos models the write path dying.
+type chaosFile struct {
+	in    *Injector
+	inner store.File
+}
+
+// WrapFile returns f with the injector's write faults in front of it. Pass
+// it to store.WithFileWrapper.
+func (in *Injector) WrapFile(f store.File) store.File {
+	return &chaosFile{in: in, inner: f}
+}
+
+func (f *chaosFile) ReadAt(p []byte, off int64) (int, error) {
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *chaosFile) Stat() (os.FileInfo, error) { return f.inner.Stat() }
+
+// writeFault decides the fate of one record write of n bytes: how many
+// bytes actually land (short < n on a short write or the crashing write)
+// and whether the op errors. Counting happens here, under one lock
+// acquisition, so concurrent writers see a consistent crash point.
+func (f *chaosFile) writeFault(n int) (short int, err error) {
+	in := f.in
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return 0, ErrCrashed
+	}
+	in.writes++
+	if in.crashAt > 0 && in.writes >= in.crashAt {
+		// The crashing write tears: a prefix lands, then the "process" dies.
+		in.crashed = true
+		return n / 2, ErrCrashed
+	}
+	if in.cfg.ShortWriteP > 0 && in.rng.Float64() < in.cfg.ShortWriteP {
+		in.shortWrites++
+		return n / 2, fmt.Errorf("chaos: injected short write (%d of %d bytes)", n/2, n)
+	}
+	return n, nil
+}
+
+func (f *chaosFile) WriteAt(p []byte, off int64) (int, error) {
+	short, err := f.writeFault(len(p))
+	if err != nil {
+		n, _ := f.inner.WriteAt(p[:short], off)
+		return n, err
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *chaosFile) Write(p []byte) (int, error) {
+	short, err := f.writeFault(len(p))
+	if err != nil {
+		n, _ := f.inner.Write(p[:short])
+		return n, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *chaosFile) Truncate(size int64) error {
+	if f.dead() {
+		return ErrCrashed
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *chaosFile) Sync() error {
+	if f.dead() {
+		return ErrCrashed
+	}
+	return f.inner.Sync()
+}
+
+// Close always reaches the real file: the harness needs the fd back even
+// after a simulated crash.
+func (f *chaosFile) Close() error { return f.inner.Close() }
+
+func (f *chaosFile) dead() bool {
+	f.in.mu.Lock()
+	defer f.in.mu.Unlock()
+	return f.in.crashed
+}

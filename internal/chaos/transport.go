@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// transport injects latency, transport errors and torn responses around an
+// inner cluster.Transport.
+type transport struct {
+	in    *Injector
+	inner cluster.Transport
+}
+
+// pingerTransport adds the Pinger side when the inner transport has one, so
+// wrapping does not grow or shrink the coordinator's health-probe surface.
+type pingerTransport struct {
+	transport
+	pinger cluster.Pinger
+}
+
+// WrapTransport returns t with the injector's shard faults in front of it.
+// The wrapper implements cluster.Pinger exactly when t does.
+func (in *Injector) WrapTransport(t cluster.Transport) cluster.Transport {
+	ct := transport{in: in, inner: t}
+	if p, ok := t.(cluster.Pinger); ok {
+		return &pingerTransport{transport: ct, pinger: p}
+	}
+	return &ct
+}
+
+func (t *transport) RunShard(ctx context.Context, worker string, req cluster.ShardRequest) (cluster.ShardResponse, error) {
+	in, cfg := t.in, t.in.cfg
+	if cfg.LatencyP > 0 && in.roll() < cfg.LatencyP {
+		d := time.Duration(in.roll() * float64(cfg.MaxLatency))
+		in.count(&in.delays)
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return cluster.ShardResponse{}, ctx.Err()
+		}
+	}
+	if cfg.FaultP > 0 && in.roll() < cfg.FaultP {
+		in.count(&in.shardFaults)
+		return cluster.ShardResponse{}, fmt.Errorf("chaos: injected transport fault dispatching to %s", worker)
+	}
+	resp, err := t.inner.RunShard(ctx, worker, req)
+	if err != nil {
+		return resp, err
+	}
+	if cfg.TornP > 0 && len(resp.Results) > 0 && in.roll() < cfg.TornP {
+		// Drop the response tail: the coordinator's length check turns this
+		// into a worker fault and re-routes the whole chunk.
+		in.count(&in.tornResponses)
+		resp.Results = resp.Results[:len(resp.Results)/2]
+	}
+	return resp, err
+}
+
+func (t *pingerTransport) Ping(ctx context.Context, worker string) error {
+	in, cfg := t.in, t.in.cfg
+	if cfg.PingP > 0 && in.roll() < cfg.PingP {
+		in.count(&in.pingFaults)
+		return fmt.Errorf("chaos: injected probe failure for %s", worker)
+	}
+	return t.pinger.Ping(ctx, worker)
+}
+
+// count bumps one injector counter under the lock.
+func (in *Injector) count(c *int64) {
+	in.mu.Lock()
+	*c++
+	in.mu.Unlock()
+}

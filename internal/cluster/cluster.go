@@ -195,6 +195,9 @@ type Stats struct {
 	// ClientFaults counts campaigns rejected for a deterministic client
 	// fault (4xx): the campaign fails, no worker is excluded.
 	ClientFaults int64 `json:"client_faults"`
+	// ProbesSkipped counts health probes suppressed because the member's
+	// failure backoff window had not elapsed (flap damping at work).
+	ProbesSkipped int64 `json:"probes_skipped"`
 	// Remote sums the latest runner-stats snapshot reported by each
 	// currently healthy member: cache hits here are sessions a worker
 	// served from its warm memo cache. Snapshots of excluded, unhealthy, or
@@ -238,6 +241,20 @@ type Config struct {
 	// HeartbeatFailures is the number of consecutive failed probes that
 	// mark a member unhealthy (default 3). A single passing probe heals it.
 	HeartbeatFailures int
+	// RetryBudget caps worker-fault re-route events per campaign (default
+	// 16). Re-routing is immediate and cheap, but unbounded: a pathological
+	// fleet (every worker flapping) could otherwise bounce the same
+	// sessions around the ring forever. Exhausting the budget fails the
+	// campaign with the last worker error attached.
+	RetryBudget int
+	// ProbeBackoffBase is the first re-probe delay charged to a member
+	// after a failure (default 1s). Each further consecutive failure —
+	// dispatch fault or probe — doubles it with jitter, up to
+	// ProbeBackoffMax (default 60s), so a flapping worker is re-routed away
+	// from immediately but re-probed lazily instead of hammered. A passing
+	// probe or a re-registration clears the backoff.
+	ProbeBackoffBase time.Duration
+	ProbeBackoffMax  time.Duration
 	// Local optionally supplies the in-process spill-over worker: when the
 	// live worker set empties (none configured yet, or every member failed),
 	// remaining sessions execute on it instead of failing the campaign.
@@ -262,6 +279,7 @@ type Coordinator struct {
 	spillOvers      atomic.Int64
 	sessionsSpilled atomic.Int64
 	clientFaults    atomic.Int64
+	probesSkipped   atomic.Int64
 
 	mu          sync.Mutex
 	local       *Worker
@@ -297,14 +315,26 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.HeartbeatFailures <= 0 {
 		cfg.HeartbeatFailures = 3
 	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 16
+	}
+	if cfg.ProbeBackoffBase <= 0 {
+		cfg.ProbeBackoffBase = time.Second
+	}
+	if cfg.ProbeBackoffMax < cfg.ProbeBackoffBase {
+		cfg.ProbeBackoffMax = time.Minute
+	}
 	t := cfg.Transport
 	if t == nil {
-		t = &httpTransport{client: &http.Client{}}
+		t = NewHTTPTransport()
 	}
+	members := newMembership(cfg.Workers, cfg.Replicas)
+	members.backoffBase = cfg.ProbeBackoffBase
+	members.backoffMax = cfg.ProbeBackoffMax
 	c := &Coordinator{
 		cfg:         cfg,
 		transport:   t,
-		members:     newMembership(cfg.Workers, cfg.Replicas),
+		members:     members,
 		local:       cfg.Local,
 		workerStats: make(map[string]batch.Stats),
 		hbStop:      make(chan struct{}),
@@ -339,7 +369,9 @@ func (c *Coordinator) heartbeat(p Pinger) {
 			return
 		case <-ticker.C:
 		}
-		for _, addr := range c.members.addrs() {
+		due, skipped := c.members.probeTargets(time.Now())
+		c.probesSkipped.Add(int64(skipped))
+		for _, addr := range due {
 			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HeartbeatTimeout)
 			err := p.Ping(ctx, addr)
 			cancel()
@@ -431,6 +463,7 @@ func (c *Coordinator) Stats() Stats {
 		SpillOvers:      c.spillOvers.Load(),
 		SessionsSpilled: c.sessionsSpilled.Load(),
 		ClientFaults:    c.clientFaults.Load(),
+		ProbesSkipped:   c.probesSkipped.Load(),
 	}
 	healthy := make(map[string]bool, len(members))
 	for _, m := range members {
@@ -483,6 +516,7 @@ type run struct {
 	excluded      map[string]bool // members failed this run
 	inflight      int
 	resolved      int
+	retriesUsed   int // worker-fault re-routes charged against RetryBudget
 	done          bool
 	fatalErr      error
 	sessErr       error
@@ -747,12 +781,25 @@ func (r *run) runner(addr string) {
 				return
 			}
 			// Worker fault: exclude it for the run, mark it unhealthy, and
-			// re-route everything it still held.
+			// re-route everything it still held — unless this campaign has
+			// exhausted its retry budget, in which case it fails now instead
+			// of bouncing the same sessions around a flapping fleet forever.
 			r.c.workerFailures.Add(1)
 			r.c.retries.Add(1)
 			r.c.noteWorkerFault(addr)
 			r.lastWorkerErr = err
 			r.excluded[addr] = true
+			r.retriesUsed++
+			if r.retriesUsed > r.c.cfg.RetryBudget {
+				if r.fatalErr == nil {
+					r.fatalErr = fmt.Errorf("cluster: campaign retry budget exhausted (%d worker faults > budget %d; last: %w)",
+						r.retriesUsed, r.c.cfg.RetryBudget, err)
+				}
+				r.cancel()
+				r.cond.Broadcast()
+				r.mu.Unlock()
+				return
+			}
 			requeue := append(chunk, r.queues[addr]...)
 			delete(r.queues, addr)
 			r.assignLocked(requeue)
@@ -835,6 +882,13 @@ func (r *run) localRunner() {
 // /healthz.
 type httpTransport struct {
 	client *http.Client
+}
+
+// NewHTTPTransport returns the production HTTP shard transport — the one a
+// nil Config.Transport selects. Exported so wrappers (internal/chaos) can
+// interpose on the real transport instead of a test fake.
+func NewHTTPTransport() Transport {
+	return &httpTransport{client: &http.Client{}}
 }
 
 // workerURL normalizes a worker address to a base URL.

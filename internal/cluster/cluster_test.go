@@ -881,3 +881,84 @@ func TestHeartbeatMarksDeadAndHealsRecovered(t *testing.T) {
 		t.Errorf("Workers = %d after the heal, want 1", st.Workers)
 	}
 }
+
+// TestRetryBudgetExhaustion asserts a campaign whose worker faults exceed
+// Config.RetryBudget fails with a budget error instead of bouncing the
+// sessions around the ring (or spilling) forever.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	coord, err := New(Config{
+		Workers:   []string{"worker-a:9001", "worker-b:9002", "worker-c:9003"},
+		Transport: everythingFails{},
+		// Budget 1: the first fault re-routes, the second fails the run.
+		RetryBudget: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = coord.Run(testSpecs()[:6], nil)
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("Run error = %v, want retry budget exhaustion", err)
+	}
+	if st := coord.Stats(); st.WorkerFailures != 2 {
+		t.Errorf("WorkerFailures = %d, want exactly 2 (budget must stop the cascade)", st.WorkerFailures)
+	}
+}
+
+// TestProbeBackoffSuppressesProbes exercises the flap-damping state machine:
+// failures push a member's next probe out on a growing jittered schedule,
+// success or re-registration clears it.
+func TestProbeBackoffSuppressesProbes(t *testing.T) {
+	m := newMembership([]string{"a:1", "b:2"}, 4)
+	m.backoffBase = 10 * time.Millisecond
+	m.backoffMax = 100 * time.Millisecond
+
+	now := time.Now()
+	if due, skipped := m.probeTargets(now); len(due) != 2 || skipped != 0 {
+		t.Fatalf("fresh membership: due=%v skipped=%d", due, skipped)
+	}
+
+	// A dispatch fault backs off re-probing immediately.
+	m.fault("a:1")
+	due, skipped := m.probeTargets(time.Now())
+	if skipped != 1 || len(due) != 1 || due[0] != "b:2" {
+		t.Fatalf("after fault: due=%v skipped=%d", due, skipped)
+	}
+	// The backoff window is bounded: base/2 .. max.
+	gap := time.Until(m.snapshot()[0].BackoffUntil)
+	if gap < 0 || gap > m.backoffMax {
+		t.Fatalf("backoff gap %v outside (0, %v]", gap, m.backoffMax)
+	}
+	// Once the window elapses the member is probed again.
+	if due, _ := m.probeTargets(now.Add(time.Second)); len(due) != 2 {
+		t.Fatalf("backoff never expires: due=%v", due)
+	}
+
+	// Consecutive failures grow the window (jitter keeps it >= prior base).
+	first := m.snapshot()[0].BackoffUntil
+	for i := 0; i < 5; i++ {
+		m.probe("a:1", false, 3)
+	}
+	grown := m.snapshot()[0].BackoffUntil
+	if !grown.After(first) {
+		t.Errorf("5 more failures did not grow the backoff: %v -> %v", first, grown)
+	}
+	if gap := time.Until(grown); gap < m.backoffMax/2 {
+		t.Errorf("streaked backoff gap %v, want >= %v (cap/2 with jitter)", gap, m.backoffMax/2)
+	}
+
+	// A passing probe clears the backoff entirely.
+	m.probe("a:1", true, 3)
+	if due, skipped := m.probeTargets(time.Now()); len(due) != 2 || skipped != 0 {
+		t.Fatalf("heal did not clear backoff: due=%v skipped=%d", due, skipped)
+	}
+	if mem := m.snapshot()[0]; !mem.BackoffUntil.IsZero() || mem.faultStreak != 0 {
+		t.Errorf("healed member keeps backoff state: %+v", mem)
+	}
+
+	// Re-registration clears it too (a restarted worker announces itself).
+	m.fault("b:2")
+	m.register("b:2", SourceRegistered)
+	if mem := m.snapshot()[1]; !mem.BackoffUntil.IsZero() {
+		t.Errorf("re-registered member keeps backoff: %+v", mem)
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Member sources: how an address entered the membership set.
@@ -36,6 +38,15 @@ type Member struct {
 	Healthy bool `json:"healthy"`
 	// Fails is the current run of consecutive failed health probes.
 	Fails int `json:"fails,omitempty"`
+	// BackoffUntil, when set, is when the coordinator next re-probes this
+	// member. A flapping worker earns jittered exponentially growing gaps
+	// (re-routing away from it stays immediate; only the re-probing backs
+	// off), so a wedged worker is not hammered with probes it will fail.
+	BackoffUntil time.Time `json:"backoff_until,omitempty"`
+
+	// faultStreak counts consecutive failure events (dispatch faults and
+	// probe failures) since the last success; it drives the backoff curve.
+	faultStreak int
 }
 
 // membership is the coordinator's live worker set: a mutable map of members
@@ -44,19 +55,25 @@ type Member struct {
 // closed-and-replaced channel so a mid-campaign join can start stealing
 // work immediately.
 type membership struct {
-	replicas int
+	replicas    int
+	backoffBase time.Duration // first re-probe gap after a failure
+	backoffMax  time.Duration // backoff growth cap
 
 	mu      sync.Mutex
 	members map[string]*Member
 	ring    *ring         // over healthy member addresses
 	watch   chan struct{} // closed on change, then replaced
+	rng     *rand.Rand    // backoff jitter; guarded by mu
 }
 
 func newMembership(seed []string, replicas int) *membership {
 	m := &membership{
-		replicas: replicas,
-		members:  make(map[string]*Member, len(seed)),
-		watch:    make(chan struct{}),
+		replicas:    replicas,
+		backoffBase: time.Second,
+		backoffMax:  time.Minute,
+		members:     make(map[string]*Member, len(seed)),
+		watch:       make(chan struct{}),
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	for _, addr := range seed {
 		m.members[addr] = &Member{Addr: addr, Source: SourceStatic, Healthy: true}
@@ -87,16 +104,39 @@ func (m *membership) watchCh() <-chan struct{} {
 	return m.watch
 }
 
+// backoffLocked charges one failure to a member's streak and schedules its
+// next probe: jittered exponential growth from backoffBase, capped at
+// backoffMax. Caller holds m.mu.
+func (m *membership) backoffLocked(mem *Member) {
+	mem.faultStreak++
+	d := m.backoffBase << (mem.faultStreak - 1)
+	if d > m.backoffMax || d <= 0 { // <= 0: shift overflow
+		d = m.backoffMax
+	}
+	// Full jitter on the upper half: [d/2, d). Decorrelates coordinators
+	// probing the same flapping worker.
+	d = d/2 + time.Duration(m.rng.Int63n(int64(d/2)+1))
+	mem.BackoffUntil = time.Now().Add(d)
+}
+
+// healLocked clears a member's failure history. Caller holds m.mu.
+func healLocked(mem *Member) {
+	mem.Fails = 0
+	mem.faultStreak = 0
+	mem.BackoffUntil = time.Time{}
+}
+
 // register adds (or heals) a member and reports whether membership changed.
 func (m *membership) register(addr, source string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if mem, ok := m.members[addr]; ok {
 		if mem.Healthy && mem.Fails == 0 {
+			healLocked(mem) // a live re-announce also clears any backoff
 			return false
 		}
 		mem.Healthy = true
-		mem.Fails = 0
+		healLocked(mem)
 		m.rebuildLocked()
 		return true
 	}
@@ -118,13 +158,17 @@ func (m *membership) deregister(addr string) bool {
 }
 
 // fault records a dispatch-level worker failure: the member is marked
-// unhealthy immediately (health probes or a re-registration heal it).
-// Reports whether the member transitioned.
+// unhealthy immediately (health probes or a re-registration heal it) and
+// its next probe backs off. Reports whether the member transitioned.
 func (m *membership) fault(addr string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	mem, ok := m.members[addr]
-	if !ok || !mem.Healthy {
+	if !ok {
+		return false
+	}
+	m.backoffLocked(mem)
+	if !mem.Healthy {
 		return false
 	}
 	mem.Healthy = false
@@ -143,8 +187,9 @@ func (m *membership) probe(addr string, ok bool, failAfter int) bool {
 		return false
 	}
 	if ok {
-		mem.Fails = 0
-		if mem.Healthy {
+		healed := !mem.Healthy
+		healLocked(mem)
+		if !healed {
 			return false
 		}
 		mem.Healthy = true
@@ -152,12 +197,30 @@ func (m *membership) probe(addr string, ok bool, failAfter int) bool {
 		return true
 	}
 	mem.Fails++
+	m.backoffLocked(mem)
 	if !mem.Healthy || mem.Fails < failAfter {
 		return false
 	}
 	mem.Healthy = false
 	m.rebuildLocked()
 	return true
+}
+
+// probeTargets returns the member addresses due for a health probe at now
+// (sorted), plus how many members were skipped because their backoff window
+// has not elapsed.
+func (m *membership) probeTargets(now time.Time) (due []string, skipped int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for addr, mem := range m.members {
+		if mem.BackoffUntil.After(now) {
+			skipped++
+			continue
+		}
+		due = append(due, addr)
+	}
+	sort.Strings(due)
+	return due, skipped
 }
 
 // owner returns the healthy member owning the key, skipping excluded

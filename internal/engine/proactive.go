@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sort"
+
 	"repro/internal/acmp"
 	"repro/internal/control"
 	"repro/internal/optimizer"
@@ -41,6 +43,7 @@ type proactiveAdapter struct {
 	hasInflight bool
 	pfb         control.PFB
 	frameEnergy map[*render.Frame]float64
+	wasteSum    []float64 // scratch for squash's order-independent sum
 }
 
 // planLen returns the number of speculative tasks still queued.
@@ -203,11 +206,19 @@ func (a *proactiveAdapter) squash(ec *Context, at simtime.Time) {
 	dropped, wasted := a.pfb.Squash()
 	res.SquashedFrames += dropped
 	res.MispredictWaste += wasted
-	for f := range a.frameEnergy {
-		// Energy of squashed frames stays charged (it was really spent)
-		// but is also tracked as waste.
-		res.WastedEnergyMJ += a.frameEnergy[f]
+	// Energy of squashed frames stays charged (it was really spent) but
+	// is also tracked as waste. Map iteration order is randomized and
+	// float addition is not associative, so sum the energies in sorted
+	// order — otherwise the same session produces last-ULP-different
+	// results across runs, breaking byte-identical crash resume.
+	a.wasteSum = a.wasteSum[:0]
+	for f, e := range a.frameEnergy {
+		a.wasteSum = append(a.wasteSum, e)
 		delete(a.frameEnergy, f)
+	}
+	sort.Float64s(a.wasteSum)
+	for _, e := range a.wasteSum {
+		res.WastedEnergyMJ += e
 	}
 	if a.hasInflight && !a.inflight.committed {
 		// Abort the in-flight speculative execution immediately. An

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/cluster"
@@ -43,7 +45,20 @@ type Config struct {
 	// campaigns degrade to in-process execution when the live worker set
 	// empties instead of failing.
 	Cluster *cluster.Coordinator
+	// DrainTimeout bounds graceful shutdown when a persistent store backs
+	// the server (Experiments.Store): Close gives running campaigns this
+	// long to finish, then cancels their in-process execution between
+	// sessions and returns them to queued — the journal resumes them
+	// (tail-only, completed sessions come back as store hits) on the next
+	// boot. Default 30s. Without a store, Close waits for running
+	// campaigns unconditionally, as before.
+	DrainTimeout time.Duration
 }
+
+// ErrQueueFull is returned by Submit when QueueDepth campaigns are already
+// waiting — admission control instead of unbounded memory growth. The HTTP
+// layer maps it to 429 Too Many Requests with a Retry-After header.
+var ErrQueueFull = errors.New("campaign queue is full")
 
 // Job statuses.
 const (
@@ -160,6 +175,16 @@ type Server struct {
 	cfg   Config
 	setup *experiments.Setup
 
+	// journal persists campaign lifecycle records when a store backs the
+	// server; nil otherwise (every journal method is nil-safe).
+	journal *journal
+	resumed int // campaigns re-enqueued from the journal at boot
+
+	// runCtx bounds in-process campaign execution; runCancel fires when the
+	// drain deadline passes during Close (journal-backed servers only).
+	runCtx    context.Context
+	runCancel context.CancelFunc
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	order  []string // job ids in submission order, for eviction
@@ -198,12 +223,23 @@ func New(cfg Config) (*Server, error) {
 		// are byte-identical to a worker's.
 		cfg.Cluster.SetLocal(cluster.NewWorkerFromSetup(setup))
 	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
 	s := &Server{
 		cfg:     cfg,
 		setup:   setup,
 		jobs:    make(map[string]*job),
 		queue:   make(chan *job, cfg.QueueDepth),
 		figures: make(map[string]*figEntry),
+	}
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+	if st := cfg.Experiments.Store; st != nil {
+		s.journal = newJournal(st)
+		// Replay the journal before the workers start: every non-terminal
+		// campaign re-enqueues under its original ID, and s.nextID advances
+		// past every journaled ID so fresh submissions never collide.
+		s.resumed = s.recoverJournal()
 	}
 	for i := 0; i < cfg.JobWorkers; i++ {
 		s.wg.Add(1)
@@ -212,15 +248,24 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// Resumed reports how many journaled campaigns this server re-enqueued at
+// boot.
+func (s *Server) Resumed() int { return s.resumed }
+
 // Setup exposes the shared harness state (trained learner, corpus, runner).
 func (s *Server) Setup() *experiments.Setup { return s.setup }
 
 // Stats snapshots the shared runner's memo-cache counters.
 func (s *Server) Stats() batch.Stats { return s.setup.Runner.Stats() }
 
-// Close stops accepting campaigns, cancels the ones still queued, and waits
-// for the running ones to finish (individual session simulations are not
-// interruptible).
+// Close stops accepting campaigns and shuts the workers down. Without a
+// journal, queued jobs are canceled and running ones finish unconditionally
+// (individual session simulations are not interruptible). With a journal
+// (Experiments.Store set), shutdown drains instead of dropping: queued jobs
+// stay journaled as queued and resume on the next boot, running jobs get
+// DrainTimeout to finish before their in-process execution is canceled
+// between sessions and they return to queued — nothing a client submitted
+// is ever silently lost.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -232,11 +277,20 @@ func (s *Server) Close() {
 	// channel; waiting happens outside it so workers can keep taking s.mu.
 	close(s.queue)
 	s.mu.Unlock()
+	var deadline *time.Timer
+	if s.journal != nil {
+		deadline = time.AfterFunc(s.cfg.DrainTimeout, s.runCancel)
+	}
 	s.wg.Wait()
+	if deadline != nil {
+		deadline.Stop()
+	}
+	s.runCancel()
 }
 
 // worker executes queued campaigns until the queue closes. After shutdown
-// begins, jobs still in the queue are canceled instead of run.
+// begins, jobs still in the queue are canceled — or, with a journal, left
+// queued on disk to resume on the next boot.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
@@ -244,20 +298,38 @@ func (s *Server) worker() {
 		closed := s.closed
 		s.mu.Unlock()
 		if closed {
+			if s.journal != nil {
+				// The job's journal spec has no terminal state, so the next
+				// boot on this store re-enqueues it. In-memory it stays
+				// queued, which is also what the journal says.
+				continue
+			}
 			j.setStatus(StatusCanceled, "server shut down before the campaign started")
 			continue
 		}
 		j.setStatus(StatusRunning, "")
 		results, err := s.execute(j.plan, func(completed, total int) {
-			j.completed.Add(1)
+			s.journal.mark(j.id, int(j.completed.Add(1)), j.total)
 		})
+		if err != nil && errors.Is(err, context.Canceled) && s.journal != nil {
+			// The drain deadline passed mid-campaign. Completed sessions are
+			// in the store; the journal stays non-terminal, so the next boot
+			// resumes this campaign and re-simulates only the missing tail.
+			j.mu.Lock()
+			j.status = StatusQueued
+			j.completed.Store(0)
+			j.mu.Unlock()
+			continue
+		}
 		j.mu.Lock()
 		j.results = results
 		j.mu.Unlock()
 		if err != nil {
 			j.setStatus(StatusFailed, err.Error())
+			s.journal.state(j.id, StatusFailed, err.Error())
 		} else {
 			j.setStatus(StatusDone, "")
+			s.journal.state(j.id, StatusDone, "")
 		}
 	}
 }
@@ -267,12 +339,15 @@ func (s *Server) worker() {
 // memo/artifact caches), in-process on the shared runner otherwise. Both
 // paths return results index-aligned with the plan, so the merge — and
 // everything downstream of it (rows, tables, solver aggregation) — is
-// identical.
+// identical. In-process execution is bounded by the server's run context
+// (the drain deadline); cluster dispatch is not — a coordinator killed
+// mid-campaign relies on the journal plus the workers' own stores, which is
+// the same guarantee with no cooperation needed from remote processes.
 func (s *Server) execute(plan *Plan, progress func(completed, total int)) ([]*engine.Result, error) {
 	if s.cfg.Cluster != nil {
 		return s.cfg.Cluster.Run(plan.Specs, progress)
 	}
-	return s.setup.Runner.RunWithProgress(plan.Sessions, progress)
+	return s.setup.Runner.RunContext(s.runCtx, plan.Sessions, progress)
 }
 
 // Submit validates and enqueues a campaign, returning its job status. In
@@ -303,11 +378,14 @@ func (s *Server) Submit(c Campaign) (JobStatus, error) {
 	select {
 	case s.queue <- j:
 	default:
-		return JobStatus{}, fmt.Errorf("campaign queue is full (%d pending)", s.cfg.QueueDepth)
+		return JobStatus{}, fmt.Errorf("%w (%d campaigns pending)", ErrQueueFull, s.cfg.QueueDepth)
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.evictLocked()
+	// Journal only after the job is actually admitted: a spec record is a
+	// promise the campaign will reach a terminal state.
+	s.journal.spec(j.id, c, j.total)
 	return j.snapshot(), nil
 }
 
@@ -493,6 +571,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.Submit(c)
 	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			// Admission control, not a client mistake: tell the client when
+			// to come back instead of letting the queue grow without bound.
+			w.Header().Set("Retry-After", "5")
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
@@ -642,6 +727,12 @@ type health struct {
 	// Cluster reports shard/retry/remote-worker counters when campaigns
 	// are sharded across workers (absent in-process).
 	Cluster *cluster.Stats `json:"cluster,omitempty"`
+	// Journaled reports whether a persistent store journals campaign
+	// lifecycles; Resumed counts the campaigns re-enqueued from it at boot.
+	// Always present (no omitempty): the CI chaos smoke gates on the exact
+	// count, and 0 is an answer, not an absence.
+	Journaled bool `json:"journaled"`
+	Resumed   int  `json:"resumed"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -649,10 +740,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	jobs := len(s.jobs)
 	s.mu.Unlock()
 	h := health{
-		Status:  "ok",
-		Jobs:    jobs,
-		Stats:   s.Stats(),
-		Workers: s.setup.Runner.Workers(),
+		Status:    "ok",
+		Jobs:      jobs,
+		Stats:     s.Stats(),
+		Workers:   s.setup.Runner.Workers(),
+		Journaled: s.journal != nil,
+		Resumed:   s.resumed,
 	}
 	if s.cfg.Cluster != nil {
 		cs := s.cfg.Cluster.Stats()

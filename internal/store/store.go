@@ -50,6 +50,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -70,6 +72,46 @@ const (
 	maxValLen = 1 << 30
 )
 
+// File is the store's view of its log file: the subset of *os.File the
+// record log uses. The indirection exists for fault injection — internal/chaos
+// wraps a File to simulate short writes and crash-at-record-N without
+// touching the OS — and for nothing else; production stores always run on a
+// bare *os.File.
+type File interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Write(p []byte) (int, error)
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+	Stat() (os.FileInfo, error)
+}
+
+// Option configures a Store at Open.
+type Option func(*Store)
+
+// WithFileWrapper interposes wrap between the store and its log file (fault
+// injection; see File). The wrapper sees every read, write, truncate and
+// sync the store issues, including the Open replay.
+func WithFileWrapper(wrap func(File) File) Option {
+	return func(s *Store) { s.wrapFile = wrap }
+}
+
+// WithSyncEvery makes the store fsync its log after every n Puts (n >= 1),
+// plus wherever PutDurable is used (journal terminal-state records). The
+// default (0) never syncs on Put: a process crash (kill -9) still loses
+// nothing because the writes sit in the OS page cache, but a power loss or
+// kernel panic can lose the un-synced tail — torn-tail recovery then resumes
+// from the last synced record. Syncing costs one disk flush per n results;
+// pes-bench -store -store-sync reports the overhead.
+func WithSyncEvery(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.syncEvery = int64(n)
+		}
+	}
+}
+
 // Stats snapshots a store's counters. The recovery fields are set by Open
 // and constant afterwards; the rest accumulate over the store's lifetime.
 type Stats struct {
@@ -89,6 +131,10 @@ type Stats struct {
 	Misses int64 `json:"misses"`
 	// Puts counts records appended.
 	Puts int64 `json:"puts"`
+	// Syncs counts explicit log flushes to stable storage: the WithSyncEvery
+	// cadence, PutDurable calls, and Sync/Close. Zero syncs on a no-fsync
+	// store until Close.
+	Syncs int64 `json:"syncs"`
 	// SharedBuilds counts GetOrBuild callers that were served by another
 	// caller's in-flight build instead of building or reading themselves.
 	SharedBuilds int64 `json:"shared_builds"`
@@ -121,10 +167,12 @@ type call struct {
 // Store is one disk-backed content-addressed store. All methods are safe
 // for concurrent use within one process.
 type Store struct {
-	dir string
+	dir       string
+	wrapFile  func(File) File
+	syncEvery int64 // fsync after every n Puts; 0 = never on Put
 
 	mu       sync.Mutex // guards index, inflight, appends, size, closed
-	f        *os.File
+	f        File
 	size     int64 // current log size == next append offset
 	index    map[string]ref
 	inflight map[string]*call
@@ -136,6 +184,7 @@ type Store struct {
 	hits           atomic.Int64
 	misses         atomic.Int64
 	puts           atomic.Int64
+	syncs          atomic.Int64
 	sharedBuilds   atomic.Int64
 
 	// warnf receives recovery/read warnings; tests may replace it before
@@ -146,7 +195,7 @@ type Store struct {
 // Open creates or reopens the store in dir (created if missing), replaying
 // the record log and recovering every intact record. A torn tail is
 // truncated; checksum-corrupt records are skipped with a counted warning.
-func Open(dir string) (*Store, error) {
+func Open(dir string, opts ...Option) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
 	}
@@ -164,6 +213,12 @@ func Open(dir string) (*Store, error) {
 		index:    make(map[string]ref),
 		inflight: make(map[string]*call),
 		warnf:    log.Printf,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.wrapFile != nil {
+		s.f = s.wrapFile(f)
 	}
 	if err := s.replay(); err != nil {
 		f.Close()
@@ -285,6 +340,7 @@ func (s *Store) Stats() Stats {
 		Hits:           s.hits.Load(),
 		Misses:         s.misses.Load(),
 		Puts:           s.puts.Load(),
+		Syncs:          s.syncs.Load(),
 		SharedBuilds:   s.sharedBuilds.Load(),
 	}
 }
@@ -345,8 +401,23 @@ func (s *Store) Get(key string) ([]byte, bool) {
 }
 
 // Put appends a record for key. A later Get returns the new value; the old
-// record (if any) becomes dead weight in the log.
+// record (if any) becomes dead weight in the log. When the store was opened
+// with WithSyncEvery, every n-th Put also flushes the log to stable storage.
 func (s *Store) Put(key string, val []byte) error {
+	return s.put(key, val, false)
+}
+
+// PutDurable appends a record for key and flushes the log to stable storage
+// before returning — the record survives power loss, not just a process
+// crash. The journal uses it for terminal-state records so "campaign done"
+// can never outlive the results it stands for. On a no-fsync store (no
+// WithSyncEvery) it behaves like Put: durability is all-or-nothing per
+// store, so a store that never syncs is not made to stall on one record.
+func (s *Store) PutDurable(key string, val []byte) error {
+	return s.put(key, val, s.syncEvery > 0)
+}
+
+func (s *Store) put(key string, val []byte, durable bool) error {
 	if key == "" || len(key) > maxKeyLen {
 		return fmt.Errorf("store: invalid key length %d", len(key))
 	}
@@ -375,8 +446,30 @@ func (s *Store) Put(key string, val []byte) error {
 	off := s.size
 	s.size += int64(len(buf))
 	s.index[key] = ref{key: key, off: off + recHeaderSize + int64(len(key)), len: uint32(len(val)), crc: crc}
-	s.puts.Add(1)
+	puts := s.puts.Add(1)
+	if durable || (s.syncEvery > 0 && puts%s.syncEvery == 0) {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: syncing log: %w", err)
+		}
+		s.syncs.Add(1)
+	}
 	return nil
+}
+
+// Keys returns the live keys starting with prefix, sorted. It is a replay
+// aid (the campaign journal scans its record kinds at startup), not a fast
+// path: the scan holds the store lock for the duration.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keys []string
+	for k := range s.index {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // GetOrBuild returns the stored value for key, building and storing it on a
@@ -443,7 +536,11 @@ func (s *Store) Sync() error {
 	if s.closed {
 		return fmt.Errorf("store: store is closed")
 	}
-	return s.f.Sync()
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	s.syncs.Add(1)
+	return nil
 }
 
 // Close syncs and closes the log. Further Puts fail; the struct must not be
@@ -456,6 +553,9 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	syncErr := s.f.Sync()
+	if syncErr == nil {
+		s.syncs.Add(1)
+	}
 	closeErr := s.f.Close()
 	if syncErr != nil {
 		return syncErr

@@ -420,3 +420,83 @@ func TestConcurrentPutGet(t *testing.T) {
 		}
 	}
 }
+
+func TestSyncEveryCadence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithSyncEvery(3))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// 10 puts at a cadence of 3 sync on puts 3, 6 and 9.
+	if got := s.Stats().Syncs; got != 3 {
+		t.Fatalf("Syncs = %d, want 3", got)
+	}
+	// PutDurable syncs immediately on a syncing store.
+	if err := s.PutDurable("terminal", []byte("done")); err != nil {
+		t.Fatalf("PutDurable: %v", err)
+	}
+	if got := s.Stats().Syncs; got != 4 {
+		t.Fatalf("Syncs after PutDurable = %d, want 4", got)
+	}
+}
+
+func TestNoSyncByDefault(t *testing.T) {
+	s := openQuiet(t, t.TempDir())
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// PutDurable on a no-fsync store behaves like Put.
+	if err := s.PutDurable("terminal", []byte("done")); err != nil {
+		t.Fatalf("PutDurable: %v", err)
+	}
+	if got := s.Stats().Syncs; got != 0 {
+		t.Fatalf("Syncs = %d, want 0 before Close", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := s.Stats().Syncs; got != 1 {
+		t.Fatalf("Syncs after Close = %d, want 1", got)
+	}
+}
+
+func TestKeysPrefixScan(t *testing.T) {
+	dir := t.TempDir()
+	s := openQuiet(t, dir)
+	puts := []string{"campaign|c0002|spec", "campaign|c0001|spec", "campaign|c0001|state", "result|abc", "trace|xyz"}
+	for _, k := range puts {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatalf("Put(%s): %v", k, err)
+		}
+	}
+	got := s.Keys("campaign|")
+	want := []string{"campaign|c0001|spec", "campaign|c0001|state", "campaign|c0002|spec"}
+	if len(got) != len(want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if ks := s.Keys("nope|"); len(ks) != 0 {
+		t.Fatalf("Keys(nope|) = %v, want empty", ks)
+	}
+	s.Close()
+
+	// The scan survives a reopen: replay rebuilds the same index.
+	s2 := openQuiet(t, dir)
+	defer s2.Close()
+	got2 := s2.Keys("campaign|")
+	if len(got2) != len(want) {
+		t.Fatalf("Keys after reopen = %v, want %v", got2, want)
+	}
+}
