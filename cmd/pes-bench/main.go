@@ -29,6 +29,7 @@ import (
 	"io"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ilp"
 	"repro/internal/ilp/chaingen"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/predictor"
 	"repro/internal/sched"
@@ -61,6 +63,10 @@ type Report struct {
 	// Seed is the solver-suite RNG seed; reports are only comparable at
 	// equal seeds.
 	Seed int64 `json:"seed"`
+	// Host records the runtime the report was measured on. Wall-time fields
+	// are only comparable between reports from matching hosts; the
+	// deterministic node counters are comparable regardless.
+	Host HostReport `json:"host"`
 	// OracleVersion is the Oracle solver version the session and throughput
 	// benchmarks ran ("v1" or "v2"). The v2 gates (per-scheduler throughput
 	// floor, zero budget aborts) apply only to v2 reports; -oracle=v1 runs
@@ -76,6 +82,26 @@ type Report struct {
 	// the same command against the same directory must report hit_rate 1 and
 	// zero unique runs — the restart-durability claim in benchmark form.
 	Store *StoreReport `json:"store,omitempty"`
+}
+
+// HostReport identifies the toolchain and hardware context of a report.
+type HostReport struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// hostReport samples the running process's host context.
+func hostReport() HostReport {
+	return HostReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 }
 
 // StoreReport is the persistent-store warm-start benchmark.
@@ -250,8 +276,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	oracle := fs.String("oracle", "", "oracle solver version for the session/throughput benchmarks: v2 (default) or v1 (reproduces the BENCH_pr4 Oracle figures)")
 	storeDir := fs.String("store", "", "persistent store directory for the warm-start section (first run populates it; a re-run must report hit_rate 1)")
 	storeSync := fs.Int("store-sync", 0, "fsync the -store log every n record writes during the warm-start section (0 = no fsync), to measure durability overhead")
+	debugAddr := fs.String("debug-addr", "", "listen address for a live pprof/expvar debug server during the run (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, obs.DebugHandler()); err != nil {
+				fmt.Fprintf(stderr, "pes-bench: debug listener: %v\n", err)
+			}
+		}()
 	}
 	if *storeSync < 0 {
 		return fmt.Errorf("-store-sync must not be negative")
@@ -278,7 +312,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	rep := Report{Version: "pr6", Quick: *quick, Seed: *seed, OracleVersion: oracleVer.String()}
+	rep := Report{Version: "pr10", Quick: *quick, Seed: *seed, Host: hostReport(), OracleVersion: oracleVer.String()}
 	rep.Solver = benchSolver(*seed)
 	if !*solverOnly {
 		sessions, err := benchSessions(*quick, oracleVer)

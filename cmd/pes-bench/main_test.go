@@ -24,8 +24,11 @@ func TestSolverSuiteReport(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	if rep.Version != "pr6" || rep.Solver.Problems == 0 {
+	if rep.Version != "pr10" || rep.Solver.Problems == 0 {
 		t.Fatalf("degenerate report: %+v", rep)
+	}
+	if rep.Host.GoVersion == "" || rep.Host.NumCPU < 1 || rep.Host.GOMAXPROCS < 1 || rep.Host.GOOS == "" || rep.Host.GOARCH == "" {
+		t.Errorf("host section not populated: %+v", rep.Host)
 	}
 	if rep.Solver.EnergyMismatches != 0 {
 		t.Errorf("Solve and SolveReference disagreed on %d instances", rep.Solver.EnergyMismatches)

@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -38,12 +40,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "experiment seed")
 	parallel := fs.Int("parallel", 0, "simulation worker-pool size (0 = number of CPUs, 1 = serial)")
 	oracle := fs.String("oracle", "", "oracle solver version: v2 (default, fast path) or v1 (paper-exact reference figures)")
+	debugAddr := fs.String("debug-addr", "", "listen address for a live pprof/expvar debug server during the run (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	oracleVer, err := sched.ParseOracleVersion(*oracle)
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, obs.DebugHandler()); err != nil {
+				fmt.Fprintf(stderr, "pes-experiments: debug listener: %v\n", err)
+			}
+		}()
 	}
 
 	cfg := experiments.DefaultConfig()

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/url"
@@ -52,6 +53,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -75,6 +77,8 @@ type serveConfig struct {
 	storeDir    string
 	storeSync   int
 	drain       time.Duration
+	logFormat   string
+	debugAddr   string
 	chaos       chaos.Config
 	exp         experiments.Config
 }
@@ -109,6 +113,8 @@ func parseArgs(args []string, stderr io.Writer) (serveConfig, error) {
 	storeDir := fs.String("store", "", "persistent store directory: session results, traces and trained models survive restarts (empty = in-memory only; one process per directory)")
 	storeSync := fs.Int("store-sync", 0, "fsync the -store log every n record writes; campaign terminal states always fsync when set (0 = rely on the OS page cache)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline for running campaigns when -store journals them; unfinished campaigns resume on the next boot")
+	logFormat := fs.String("log-format", "text", "structured log format, text or json (logs go to stderr; stdout stays the human banner channel)")
+	debugAddr := fs.String("debug-addr", "", "listen address for the pprof/expvar debug server (empty = disabled; bind loopback only, profiles stop the world)")
 	chaosSpec := fs.String("chaos", "", "deterministic fault-injection spec for resilience testing, e.g. seed=1,fault=0.05,torn=0.02,latency=0.1,latency_max=20ms,ping=0.05,short_write=0.01 (empty = off; never set in production)")
 	if err := fs.Parse(args); err != nil {
 		return serveConfig{}, err
@@ -144,6 +150,9 @@ func parseArgs(args []string, stderr io.Writer) (serveConfig, error) {
 	}
 	if *drain <= 0 {
 		return serveConfig{}, fmt.Errorf("-drain must be positive")
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return serveConfig{}, fmt.Errorf("-log-format must be text or json, got %q", *logFormat)
 	}
 	if *worker && *workers != "" {
 		return serveConfig{}, fmt.Errorf("-worker and -workers are mutually exclusive (a process is either a worker or a coordinator)")
@@ -189,9 +198,36 @@ func parseArgs(args []string, stderr io.Writer) (serveConfig, error) {
 		storeDir:    *storeDir,
 		storeSync:   *storeSync,
 		drain:       *drain,
+		logFormat:   *logFormat,
+		debugAddr:   *debugAddr,
 		chaos:       chaosCfg,
 		exp:         cfg,
 	}, nil
+}
+
+// newLogger builds the process logger for -log-format. Structured logs go to
+// stderr so stdout stays the human banner/result channel; json makes every
+// record one machine-parsable line for log shippers.
+func newLogger(format string, stderr io.Writer) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(stderr, nil))
+}
+
+// startDebug serves pprof and expvar on their own opt-in listener, never on
+// the service port: profiles can stop the world and must not be reachable by
+// campaign clients.
+func startDebug(addr string, logger *slog.Logger) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		logger.Info("debug listener serving pprof and expvar", "addr", addr)
+		if err := http.ListenAndServe(addr, obs.DebugHandler()); err != nil {
+			logger.Warn("debug listener failed", "addr", addr, "error", err)
+		}
+	}()
 }
 
 // run is the testable body of the command, factored like pes-sim and
@@ -203,10 +239,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	logger := newLogger(cfg.logFormat, stderr)
 	if cfg.worker {
-		return serveWorker(cfg, stdout)
+		return serveWorker(cfg, stdout, logger)
 	}
-	return serve(cfg, stdout)
+	return serve(cfg, stdout, logger)
 }
 
 // listenUntilSignal serves handler on addr and blocks until SIGINT or
@@ -352,8 +389,9 @@ func openPersistentStore(cfg serveConfig, in *chaos.Injector, stdout io.Writer) 
 
 // serveWorker trains the worker harness and serves the cluster shard API on
 // cfg.addr until a signal stops it, registering with the coordinator when
-// one is configured.
-func serveWorker(cfg serveConfig, stdout io.Writer) error {
+// one is configured. Workers expose the same /metrics surface as the
+// coordinator so a scrape job can cover the whole cluster uniformly.
+func serveWorker(cfg serveConfig, stdout io.Writer, logger *slog.Logger) error {
 	in := newInjector(cfg, stdout)
 	ps, err := openPersistentStore(cfg, in, stdout)
 	if err != nil {
@@ -368,13 +406,22 @@ func serveWorker(cfg serveConfig, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	reg := obs.NewRegistry()
+	w.Setup().Runner.RegisterMetrics(reg)
+	if in != nil {
+		in.RegisterMetrics(reg)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", w.Handler())
+	mux.Handle("GET /metrics", reg.Handler())
+	startDebug(cfg.debugAddr, logger)
 	fmt.Fprintf(stdout, "pes-serve: worker listening on %s (%d simulation workers)\n",
 		cfg.addr, w.Setup().Runner.Workers())
 	var stopReg func()
 	if cfg.coordinator != "" {
 		stopReg = registerLoop(cfg.coordinator, cfg.advertise, stdout)
 	}
-	err = listenUntilSignal(cfg.addr, w.Handler(), stdout, "pes-serve: worker shutting down")
+	err = listenUntilSignal(cfg.addr, mux, stdout, "pes-serve: worker shutting down")
 	if stopReg != nil {
 		stopReg()
 	}
@@ -394,7 +441,7 @@ func serveWorker(cfg serveConfig, stdout io.Writer) error {
 // SIGTERM triggers a graceful shutdown. With cfg.workers or -cluster set,
 // campaigns are sharded across the (elastic) cluster; otherwise they
 // execute in-process.
-func serve(cfg serveConfig, stdout io.Writer) error {
+func serve(cfg serveConfig, stdout io.Writer, logger *slog.Logger) error {
 	in := newInjector(cfg, stdout)
 	ps, err := openPersistentStore(cfg, in, stdout)
 	if err != nil {
@@ -405,11 +452,11 @@ func serve(cfg serveConfig, stdout io.Writer) error {
 		defer ps.Close()
 	}
 	fmt.Fprintf(stdout, "pes-serve: training the predictor (%d traces/app)...\n", cfg.exp.TrainTracesPerApp)
-	srvCfg := server.Config{Experiments: cfg.exp, JobWorkers: cfg.jobs, DrainTimeout: cfg.drain}
+	srvCfg := server.Config{Experiments: cfg.exp, JobWorkers: cfg.jobs, DrainTimeout: cfg.drain, Logger: logger}
 	var coord *cluster.Coordinator
 	if len(cfg.workers) > 0 || cfg.clusterMode {
 		var err error
-		clCfg := cluster.Config{Workers: cfg.workers, OracleVersion: cfg.exp.OracleVersion}
+		clCfg := cluster.Config{Workers: cfg.workers, OracleVersion: cfg.exp.OracleVersion, Logger: logger}
 		if in != nil {
 			clCfg.Transport = in.WrapTransport(cluster.NewHTTPTransport())
 		}
@@ -426,6 +473,10 @@ func serve(cfg serveConfig, stdout io.Writer) error {
 		}
 		return err
 	}
+	if in != nil {
+		in.RegisterMetrics(svc.Metrics())
+	}
+	startDebug(cfg.debugAddr, logger)
 	if n := svc.Resumed(); n > 0 {
 		fmt.Fprintf(stdout, "pes-serve: resumed %d journaled campaign(s); completed sessions replay from the store\n", n)
 	}

@@ -24,10 +24,14 @@ const goldenUsage = `Usage of pes-serve:
     	run as a cluster coordinator even with no static -workers (workers join via -coordinator registration)
   -coordinator string
     	coordinator URL this worker registers with on startup (worker mode only)
+  -debug-addr string
+    	listen address for the pprof/expvar debug server (empty = disabled; bind loopback only, profiles stop the world)
   -drain duration
     	graceful-shutdown deadline for running campaigns when -store journals them; unfinished campaigns resume on the next boot (default 30s)
   -jobs int
     	campaigns executed concurrently (default 2)
+  -log-format string
+    	structured log format, text or json (logs go to stderr; stdout stays the human banner channel) (default "text")
   -oracle string
     	oracle solver version: v2 (default, fast path) or v1 (paper-exact reference figures); cluster processes must agree
   -parallel int
@@ -83,6 +87,7 @@ func TestParseArgsValidation(t *testing.T) {
 		{"negative store-sync", []string{"-store", "/tmp/x", "-store-sync", "-1"}, "-store-sync"},
 		{"store-sync without store", []string{"-store-sync", "8"}, "requires -store"},
 		{"zero drain", []string{"-drain", "0s"}, "-drain"},
+		{"bad log format", []string{"-log-format", "xml"}, "-log-format"},
 		{"bad chaos key", []string{"-chaos", "explode=1"}, "unknown spec key"},
 		{"bad chaos probability", []string{"-chaos", "fault=1.5"}, "outside [0,1]"},
 	}
@@ -171,5 +176,23 @@ func TestParseArgsClusterModes(t *testing.T) {
 	}
 	if !cfg.clusterMode || len(cfg.workers) != 0 {
 		t.Errorf("cluster mode not parsed: %+v", cfg)
+	}
+}
+
+// TestNewLogger pins the two structured-log formats: -log-format=json emits
+// one JSON object per record, text emits key=value pairs, and both carry the
+// message.
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	newLogger("json", &buf).Info("boot", "addr", ":8080")
+	line := strings.TrimSpace(buf.String())
+	if !strings.HasPrefix(line, "{") || !strings.Contains(line, `"msg":"boot"`) || !strings.Contains(line, `"addr":":8080"`) {
+		t.Errorf("json logger emitted %q", line)
+	}
+	buf.Reset()
+	newLogger("text", &buf).Info("boot", "addr", ":8080")
+	line = strings.TrimSpace(buf.String())
+	if strings.HasPrefix(line, "{") || !strings.Contains(line, "msg=boot") {
+		t.Errorf("text logger emitted %q", line)
 	}
 }

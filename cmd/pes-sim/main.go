@@ -14,11 +14,13 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 
 	"repro/internal/acmp"
 	"repro/internal/batch"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/predictor"
 	"repro/internal/sched"
 	"repro/internal/sessions"
@@ -44,12 +46,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	parallel := fs.Int("parallel", 0, "simulation worker-pool size (0 = number of CPUs, 1 = serial)")
 	verbose := fs.Bool("v", false, "print per-event outcomes")
 	oracle := fs.String("oracle", "", "oracle solver version: v2 (default, fast path) or v1 (paper-exact reference figures)")
+	debugAddr := fs.String("debug-addr", "", "listen address for a live pprof/expvar debug server during the run (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	oracleVer, err := sched.ParseOracleVersion(*oracle)
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, obs.DebugHandler()); err != nil {
+				fmt.Fprintf(stderr, "pes-sim: debug listener: %v\n", err)
+			}
+		}()
 	}
 
 	spec, err := webapp.ByName(*app)

@@ -16,8 +16,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"time"
+
 	"repro/internal/artifacts"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/store"
 )
@@ -115,6 +118,12 @@ type Runner struct {
 
 	solverMu sync.Mutex
 	solver   optimizer.SolverStats
+
+	// sessionSeconds and solveSeconds are native latency histograms set by
+	// RegisterMetrics at wiring time (nil when telemetry is unwired — all
+	// observations are nil-safe no-ops).
+	sessionSeconds *obs.Histogram
+	solveSeconds   *obs.Histogram
 }
 
 // entry is a singleflight-style cache slot: the first requester simulates,
@@ -265,6 +274,10 @@ func (r *Runner) touch(k Key, e *entry) {
 // one resolves a single session through the cache.
 func (r *Runner) one(s Session) (*engine.Result, error) {
 	r.sessions.Add(1)
+	var start time.Time
+	if r.sessionSeconds != nil {
+		start = time.Now()
+	}
 	e := r.entryFor(s.Key)
 	hit := true
 	e.once.Do(func() {
@@ -274,6 +287,9 @@ func (r *Runner) one(s Session) (*engine.Result, error) {
 	r.touch(s.Key, e)
 	if hit {
 		r.cacheHits.Add(1)
+	}
+	if r.sessionSeconds != nil {
+		r.sessionSeconds.ObserveSeconds(int64(time.Since(start)))
 	}
 	return e.res, e.err
 }
@@ -322,6 +338,7 @@ func (r *Runner) addSolver(res *engine.Result) {
 	if res == nil {
 		return
 	}
+	r.solveSeconds.ObserveSeconds(res.Solver.WallNS)
 	r.solverMu.Lock()
 	r.solver = r.solver.Add(res.Solver)
 	r.solverMu.Unlock()

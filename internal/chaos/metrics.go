@@ -1,0 +1,33 @@
+package chaos
+
+import "repro/internal/obs"
+
+// RegisterMetrics exposes the injector's fault counters as Prometheus
+// series, sampled from the same snapshot Stats() reads. Chaos metrics exist
+// so a chaos-smoke run can assert, from the outside, that faults were
+// actually injected — a chaos test that injected nothing proves nothing.
+func (in *Injector) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("pes_chaos_shard_faults_total",
+		"RunShard calls failed with an injected error.",
+		func() float64 { return float64(in.Stats().ShardFaults) })
+	reg.CounterFunc("pes_chaos_torn_responses_total",
+		"RunShard responses that lost their tail.",
+		func() float64 { return float64(in.Stats().TornResponses) })
+	reg.CounterFunc("pes_chaos_delays_total",
+		"Injected latency sleeps.",
+		func() float64 { return float64(in.Stats().Delays) })
+	reg.CounterFunc("pes_chaos_ping_faults_total",
+		"Health probes failed by injection.",
+		func() float64 { return float64(in.Stats().PingFaults) })
+	reg.CounterFunc("pes_chaos_short_writes_total",
+		"Store log writes cut short by injection.",
+		func() float64 { return float64(in.Stats().ShortWrites) })
+	reg.GaugeFunc("pes_chaos_crashed",
+		"1 when the crash-at-record-N trigger has fired.",
+		func() float64 {
+			if in.Stats().Crashed {
+				return 1
+			}
+			return 0
+		})
+}

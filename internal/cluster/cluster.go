@@ -55,6 +55,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -64,6 +65,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/predictor"
 	"repro/internal/sched"
 )
@@ -124,6 +126,11 @@ type ShardResponse struct {
 	Results []*engine.Result `json:"results"`
 	Error   string           `json:"error,omitempty"`
 	Stats   batch.Stats      `json:"stats"`
+	// Spans are the worker-side trace spans for this shard (simulate wall
+	// time, solve totals), present only when the request carried a trace ID.
+	// The coordinator merges them into the campaign's timeline, stamping the
+	// worker address the worker itself does not know.
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 // ClientFaultError is a shard rejection that is the campaign's fault — an
@@ -260,6 +267,9 @@ type Config struct {
 	// remaining sessions execute on it instead of failing the campaign.
 	// server.New wires the service's own harness here automatically.
 	Local *Worker
+	// Logger receives the coordinator's structured events (membership
+	// transitions, worker faults, steals); nil selects slog.Default().
+	Logger *slog.Logger
 }
 
 // Coordinator routes sessions to workers and merges their results. Safe for
@@ -269,6 +279,11 @@ type Coordinator struct {
 	cfg       Config
 	transport Transport
 	members   *membership
+	log       *slog.Logger
+
+	// shardLatency is the round-trip histogram set by RegisterMetrics at
+	// wiring time (nil when telemetry is unwired; observations are nil-safe).
+	shardLatency *obs.Histogram
 
 	shards          atomic.Int64
 	sessionsRouted  atomic.Int64
@@ -331,10 +346,15 @@ func New(cfg Config) (*Coordinator, error) {
 	members := newMembership(cfg.Workers, cfg.Replicas)
 	members.backoffBase = cfg.ProbeBackoffBase
 	members.backoffMax = cfg.ProbeBackoffMax
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	c := &Coordinator{
 		cfg:         cfg,
 		transport:   t,
 		members:     members,
+		log:         logger,
 		local:       cfg.Local,
 		workerStats: make(map[string]batch.Stats),
 		hbStop:      make(chan struct{}),
@@ -378,9 +398,10 @@ func (c *Coordinator) heartbeat(p Pinger) {
 			if err != nil {
 				if c.members.probe(addr, false, c.cfg.HeartbeatFailures) {
 					c.dropStats(addr)
+					c.log.Warn("cluster member unhealthy", "worker", addr, "cause", "probe", "error", err)
 				}
-			} else {
-				c.members.probe(addr, true, c.cfg.HeartbeatFailures)
+			} else if c.members.probe(addr, true, c.cfg.HeartbeatFailures) {
+				c.log.Info("cluster member healed", "worker", addr)
 			}
 		}
 	}
@@ -394,7 +415,9 @@ func (c *Coordinator) Register(addr string) error {
 	if addr == "" {
 		return fmt.Errorf("cluster: empty worker address")
 	}
-	c.members.register(addr, SourceRegistered)
+	if c.members.register(addr, SourceRegistered) {
+		c.log.Info("cluster member registered", "worker", addr)
+	}
 	return nil
 }
 
@@ -407,6 +430,7 @@ func (c *Coordinator) Deregister(addr string) bool {
 		return false
 	}
 	c.dropStats(addr)
+	c.log.Info("cluster member deregistered", "worker", addr)
 	return true
 }
 
@@ -503,6 +527,9 @@ type run struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+	// trace is the campaign's span recorder, taken from the caller's context
+	// (nil when untraced — all recording is nil-safe).
+	trace *obs.Recorder
 
 	progress  func(completed, total int)
 	completed atomic.Int64
@@ -537,6 +564,16 @@ type run struct {
 // remaining sessions spill over to the local worker, and Run fails only
 // when none is configured.
 func (c *Coordinator) Run(specs []SessionSpec, progress func(completed, total int)) ([]*engine.Result, error) {
+	return c.RunContext(context.Background(), specs, progress)
+}
+
+// RunContext is Run carrying a context: a trace recorder attached with
+// obs.WithTrace collects dispatch/steal/spill spans (and the worker-side
+// spans returned in shard responses), the trace ID propagates to workers in
+// the X-Pes-Trace-Id header, and cancelling ctx aborts the run with ctx's
+// error (in-flight shards are abandoned; workers complete them into their
+// own caches).
+func (c *Coordinator) RunContext(ctx context.Context, specs []SessionSpec, progress func(completed, total int)) ([]*engine.Result, error) {
 	out := make([]*engine.Result, len(specs))
 	if len(specs) == 0 {
 		return out, nil
@@ -546,14 +583,27 @@ func (c *Coordinator) Run(specs []SessionSpec, progress func(completed, total in
 		specs:    specs,
 		out:      out,
 		total:    len(specs),
+		trace:    obs.TraceFrom(ctx),
 		progress: progress,
 		queues:   make(map[string][]int),
 		runners:  make(map[string]bool),
 		excluded: make(map[string]bool),
 	}
 	r.cond = sync.NewCond(&r.mu)
-	r.ctx, r.cancel = context.WithCancel(context.Background())
+	r.ctx, r.cancel = context.WithCancel(ctx)
 	defer r.cancel()
+	// A parent-context cancellation must wake the completion wait below,
+	// which otherwise only the runners' broadcasts do.
+	stopWatch := context.AfterFunc(ctx, func() {
+		r.mu.Lock()
+		if r.fatalErr == nil {
+			r.fatalErr = ctx.Err()
+		}
+		r.cancel()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer stopWatch()
 
 	all := make([]int, len(specs))
 	for i := range all {
@@ -738,9 +788,12 @@ func (r *run) runner(addr string) {
 		r.inflight++
 		r.mu.Unlock()
 
+		spanName := "dispatch"
 		if stolen {
 			r.c.steals.Add(1)
 			r.c.sessionsStolen.Add(int64(len(chunk)))
+			spanName = "steal"
+			r.c.log.Debug("cluster steal", "worker", addr, "sessions", len(chunk), "trace", r.trace.TraceID())
 		}
 		r.c.shards.Add(1)
 		r.c.sessionsRouted.Add(int64(len(chunk)))
@@ -751,11 +804,26 @@ func (r *run) runner(addr string) {
 		for k, i := range chunk {
 			req.Sessions[k] = r.specs[i]
 		}
+		start := time.Now()
 		ctx, cancel := context.WithTimeout(r.ctx, r.c.cfg.ShardTimeout)
 		resp, err := r.c.transport.RunShard(ctx, addr, req)
 		cancel()
+		rtt := time.Since(start)
 		if err == nil && len(resp.Results) != len(chunk) {
 			err = fmt.Errorf("cluster: worker %s returned %d results for %d sessions", addr, len(resp.Results), len(chunk))
+		}
+		if err == nil {
+			r.c.shardLatency.ObserveSeconds(int64(rtt))
+			r.trace.Record(obs.Span{
+				Name: spanName, Worker: addr, Sessions: len(chunk),
+				StartUS: start.UnixMicro(), DurUS: rtt.Microseconds(),
+			})
+			for i := range resp.Spans {
+				if resp.Spans[i].Worker == "" {
+					resp.Spans[i].Worker = addr
+				}
+			}
+			r.trace.Merge(resp.Spans)
 		}
 
 		r.mu.Lock()
@@ -772,6 +840,8 @@ func (r *run) runner(addr string) {
 				// Fail the campaign now and exclude nobody — re-routing
 				// would only cascade the same 4xx around the ring.
 				r.c.clientFaults.Add(1)
+				r.c.log.Warn("cluster client fault",
+					"worker", addr, "trace", r.trace.TraceID(), "error", err)
 				if r.fatalErr == nil {
 					r.fatalErr = err
 				}
@@ -787,6 +857,8 @@ func (r *run) runner(addr string) {
 			r.c.workerFailures.Add(1)
 			r.c.retries.Add(1)
 			r.c.noteWorkerFault(addr)
+			r.c.log.Warn("cluster worker fault",
+				"worker", addr, "sessions", len(chunk), "trace", r.trace.TraceID(), "error", err)
 			r.lastWorkerErr = err
 			r.excluded[addr] = true
 			r.retriesUsed++
@@ -852,7 +924,20 @@ func (r *run) localRunner() {
 		for k, i := range chunk {
 			req.Sessions[k] = r.specs[i]
 		}
-		resp, err := w.RunShard(req)
+		start := time.Now()
+		resp, err := w.RunShardTraced(r.trace.TraceID(), req)
+		if err == nil {
+			r.trace.Record(obs.Span{
+				Name: "spill", Worker: "local", Sessions: len(chunk),
+				StartUS: start.UnixMicro(), DurUS: time.Since(start).Microseconds(),
+			})
+			for i := range resp.Spans {
+				if resp.Spans[i].Worker == "" {
+					resp.Spans[i].Worker = "local"
+				}
+			}
+			r.trace.Merge(resp.Spans)
+		}
 
 		r.mu.Lock()
 		if err != nil {
@@ -909,6 +994,9 @@ func (t *httpTransport) RunShard(ctx context.Context, worker string, req ShardRe
 		return ShardResponse{}, err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if id := obs.TraceIDFrom(ctx); id != "" {
+		httpReq.Header.Set(obs.TraceHeader, id)
+	}
 	httpResp, err := t.client.Do(httpReq)
 	if err != nil {
 		return ShardResponse{}, err

@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRegisterMetricsExposesClusterFamilies scrapes a freshly wired
+// coordinator: every counter family the CI metrics-smoke job gates on must
+// render, and the native shard round-trip histogram must be attached.
+func TestRegisterMetricsExposesClusterFamilies(t *testing.T) {
+	coord, err := New(Config{Workers: []string{"worker-a:9001"}, Transport: everythingFails{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	reg := obs.NewRegistry()
+	coord.RegisterMetrics(reg)
+	if coord.shardLatency == nil {
+		t.Fatal("RegisterMetrics did not attach the shard round-trip histogram")
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, series := range []string{
+		"pes_cluster_workers ",
+		"pes_cluster_shards_total 0",
+		"pes_cluster_sessions_routed_total 0",
+		"pes_cluster_retries_total 0",
+		"pes_cluster_worker_failures_total 0",
+		"pes_cluster_steals_total 0",
+		"pes_cluster_sessions_stolen_total 0",
+		"pes_cluster_spill_overs_total 0",
+		"pes_cluster_sessions_spilled_total 0",
+		"pes_cluster_client_faults_total 0",
+		"pes_cluster_probes_skipped_total 0",
+		"pes_shard_roundtrip_seconds_count 0",
+	} {
+		if !strings.Contains(body, "\n"+series) {
+			t.Errorf("scrape is missing series %q", series)
+		}
+	}
+}

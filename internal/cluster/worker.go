@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/acmp"
 	"repro/internal/batch"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sessions"
 	"repro/internal/trace"
@@ -88,6 +90,15 @@ func (w *Worker) buildSessions(specs []SessionSpec) ([]batch.Session, error) {
 // is reported in the response like the in-process runner's first error,
 // with the remaining sessions still completing.
 func (w *Worker) RunShard(req ShardRequest) (ShardResponse, error) {
+	return w.RunShardTraced("", req)
+}
+
+// RunShardTraced is RunShard joining a campaign trace: a non-empty traceID
+// (from the X-Pes-Trace-Id header, or the coordinator's recorder on the
+// local spill-over path) makes the response carry per-chunk simulate and
+// solve-total spans for the coordinator to merge into the campaign timeline.
+// An empty traceID records nothing and is byte-identical to RunShard.
+func (w *Worker) RunShardTraced(traceID string, req ShardRequest) (ShardResponse, error) {
 	if len(req.Sessions) == 0 {
 		return ShardResponse{}, fmt.Errorf("shard contains no sessions")
 	}
@@ -106,8 +117,27 @@ func (w *Worker) RunShard(req ShardRequest) (ShardResponse, error) {
 	if err != nil {
 		return ShardResponse{}, err
 	}
+	start := time.Now()
 	results, runErr := w.setup.Runner.Run(sess)
 	resp := ShardResponse{Results: results, Stats: w.Stats()}
+	if traceID != "" {
+		// Solve totals sum the solver wall time embedded in each session's
+		// result — deterministic per shard, cache-served sessions included
+		// (their solver work happened once, wherever they were first built).
+		var solveNS int64
+		for _, res := range results {
+			if res != nil {
+				solveNS += res.Solver.WallNS
+			}
+		}
+		startUS := start.UnixMicro()
+		resp.Spans = []obs.Span{
+			{TraceID: traceID, Name: "simulate", Sessions: len(req.Sessions),
+				StartUS: startUS, DurUS: time.Since(start).Microseconds()},
+			{TraceID: traceID, Name: "solve", Sessions: len(req.Sessions),
+				StartUS: startUS, DurUS: solveNS / 1e3},
+		}
+	}
 	if runErr != nil {
 		resp.Error = runErr.Error()
 	}
@@ -153,7 +183,7 @@ func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
 		w.writeJSON(rw, http.StatusBadRequest, shardError{Error: "invalid shard JSON: " + err.Error()})
 		return
 	}
-	resp, err := w.RunShard(req)
+	resp, err := w.RunShardTraced(r.Header.Get(obs.TraceHeader), req)
 	if err != nil {
 		w.writeJSON(rw, http.StatusBadRequest, shardError{Error: err.Error()})
 		return

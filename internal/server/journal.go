@@ -3,12 +3,14 @@ package server
 import (
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -73,14 +75,18 @@ type journalMark struct {
 // Nil-safe: a nil journal (no -store) makes every method a no-op, so call
 // sites read unconditionally.
 type journal struct {
-	st *store.Store
+	st  *store.Store
+	log *slog.Logger
 
 	mu    sync.Mutex
 	marks map[string]int // last persisted watermark per campaign
 }
 
-func newJournal(st *store.Store) *journal {
-	return &journal{st: st, marks: make(map[string]int)}
+func newJournal(st *store.Store, logger *slog.Logger) *journal {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &journal{st: st, log: logger, marks: make(map[string]int)}
 }
 
 // spec records a submitted campaign. Failure to journal is logged, not
@@ -94,7 +100,7 @@ func (jl *journal) spec(id string, c Campaign, sessions int) {
 		err = jl.st.Put(specKey(id), val)
 	}
 	if err != nil {
-		log.Printf("server: journaling campaign %s spec: %v", id, err)
+		jl.log.Warn("journaling campaign spec failed", "campaign", id, "error", err)
 	}
 }
 
@@ -115,7 +121,7 @@ func (jl *journal) mark(id string, completed, total int) {
 	jl.mu.Unlock()
 	val, _ := json.Marshal(journalMark{Completed: completed})
 	if err := jl.st.Put(markKey(id), val); err != nil {
-		log.Printf("server: journaling campaign %s watermark: %v", id, err)
+		jl.log.Warn("journaling campaign watermark failed", "campaign", id, "completed", completed, "error", err)
 	}
 }
 
@@ -132,7 +138,7 @@ func (jl *journal) state(id, status, errMsg string) {
 		err = jl.st.PutDurable(stateKey(id), val)
 	}
 	if err != nil {
-		log.Printf("server: journaling campaign %s terminal state: %v", id, err)
+		jl.log.Warn("journaling campaign terminal state failed", "campaign", id, "status", status, "error", err)
 	}
 }
 
@@ -174,7 +180,7 @@ func (jl *journal) scan() (resume []journalEntry, maxID int) {
 		id, kind := parts[1], parts[2]
 		n, ok := parseJobID(id)
 		if !ok {
-			log.Printf("server: skipping malformed journal key %q", key)
+			jl.log.Warn("skipping malformed journal key", "key", key)
 			continue
 		}
 		if n > maxID {
@@ -199,12 +205,12 @@ func (jl *journal) scan() (resume []journalEntry, maxID int) {
 		val, ok := jl.st.Get(specKey(id))
 		if !ok {
 			// The spec record rotted after replay; nothing to resume from.
-			log.Printf("server: campaign %s spec record unreadable, not resuming", id)
+			jl.log.Warn("campaign spec record unreadable, not resuming", "campaign", id)
 			continue
 		}
 		var spec journalSpec
 		if err := json.Unmarshal(val, &spec); err != nil {
-			log.Printf("server: campaign %s spec record undecodable, not resuming: %v", id, err)
+			jl.log.Warn("campaign spec record undecodable, not resuming", "campaign", id, "error", err)
 			continue
 		}
 		resume = append(resume, journalEntry{id: id, spec: spec})
@@ -212,16 +218,26 @@ func (jl *journal) scan() (resume []journalEntry, maxID int) {
 	return resume, maxID
 }
 
+// RecoverySummary is the outcome of one journal recovery pass: how many
+// non-terminal campaigns were re-enqueued, how many failed to re-expand
+// (terminated in the journal, queryable as failed jobs), and how many
+// stayed journaled because the queue was full. The same counts back the
+// pes_campaigns_{resumed,recovery_failed,stayed_journaled} gauges.
+type RecoverySummary struct {
+	Resumed         int
+	Failed          int
+	StayedJournaled int
+}
+
 // recoverJournal re-enqueues every non-terminal journaled campaign under
 // its original ID. Called from New before the workers start, with the
-// server not yet shared, so no locking is needed. Returns the number of
-// campaigns resumed.
-func (s *Server) recoverJournal() int {
+// server not yet shared, so no locking is needed.
+func (s *Server) recoverJournal() RecoverySummary {
 	entries, maxID := s.journal.scan()
 	if maxID > s.nextID {
 		s.nextID = maxID
 	}
-	resumed := 0
+	var sum RecoverySummary
 	for _, e := range entries {
 		plan, err := e.spec.Campaign.expand(s.setup, s.cfg.Cluster == nil)
 		if err == nil && len(plan.Meta) != e.spec.Sessions {
@@ -232,11 +248,12 @@ func (s *Server) recoverJournal() int {
 			// The spec was valid at submit; failing to re-expand means the
 			// world changed. Terminate it in the journal so it is not
 			// retried forever, and surface the failure as a queryable job.
-			log.Printf("server: resuming campaign %s: %v", e.id, err)
+			s.log.Warn("resuming campaign failed", "campaign", e.id, "error", err)
 			s.journal.state(e.id, StatusFailed, err.Error())
 			j := &job{id: e.id, campaign: e.spec.Campaign, plan: &Plan{}, total: e.spec.Sessions, status: StatusFailed, errMsg: err.Error()}
 			s.jobs[e.id] = j
 			s.order = append(s.order, e.id)
+			sum.Failed++
 			continue
 		}
 		j := &job{
@@ -245,6 +262,8 @@ func (s *Server) recoverJournal() int {
 			plan:     plan,
 			total:    len(plan.Meta),
 			status:   StatusQueued,
+			trace:    obs.NewRecorder(obs.MintTraceID(e.id)),
+			enqueued: time.Now(),
 		}
 		select {
 		case s.queue <- j:
@@ -252,13 +271,19 @@ func (s *Server) recoverJournal() int {
 			// Queue full mid-recovery: the campaign stays journaled as
 			// non-terminal and a later restart (or a larger QueueDepth)
 			// picks it up.
-			log.Printf("server: campaign queue full during recovery, campaign %s stays journaled", e.id)
+			s.log.Warn("campaign queue full during recovery, campaign stays journaled", "campaign", e.id)
+			sum.StayedJournaled++
 			continue
 		}
 		s.jobs[e.id] = j
 		s.order = append(s.order, e.id)
-		resumed++
-		log.Printf("server: resuming campaign %s (%d sessions) from the journal", e.id, j.total)
+		sum.Resumed++
+		s.log.Info("resuming campaign from the journal",
+			"campaign", e.id, "trace", j.trace.TraceID(), "sessions", j.total)
 	}
-	return resumed
+	if s.journal != nil {
+		s.log.Info("journal recovery complete",
+			"resumed", sum.Resumed, "failed", sum.Failed, "stayed_journaled", sum.StayedJournaled)
+	}
+	return sum
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/sessions"
 	"repro/internal/webapp"
@@ -53,6 +55,14 @@ type Config struct {
 	// boot. Default 30s. Without a store, Close waits for running
 	// campaigns unconditionally, as before.
 	DrainTimeout time.Duration
+	// Metrics optionally supplies the registry /metrics serves, letting the
+	// embedding process (cmd/pes-serve) add series of its own — chaos
+	// injection counters, for instance — to the same exposition. Nil makes
+	// the server create a private registry; /metrics is served either way.
+	Metrics *obs.Registry
+	// Logger receives the server's structured events (campaign lifecycle,
+	// journal recovery); nil selects slog.Default().
+	Logger *slog.Logger
 }
 
 // ErrQueueFull is returned by Submit when QueueDepth campaigns are already
@@ -77,6 +87,13 @@ type job struct {
 	// total is the session count of the plan, kept separately because the
 	// plan's session closures are released once the job is terminal.
 	total int
+	// trace accumulates the campaign's span timeline. Its trace ID is
+	// minted deterministically from the job ID, so a journal-resumed
+	// campaign (same ID) rejoins the same trace.
+	trace *obs.Recorder
+	// enqueued is when the job entered the queue, the start of its
+	// queue_wait span.
+	enqueued time.Time
 
 	completed atomic.Int64
 
@@ -178,7 +195,16 @@ type Server struct {
 	// journal persists campaign lifecycle records when a store backs the
 	// server; nil otherwise (every journal method is nil-safe).
 	journal *journal
-	resumed int // campaigns re-enqueued from the journal at boot
+	// recovery is the boot-time journal replay outcome; resumed mirrors its
+	// Resumed count (kept for the /healthz payload).
+	recovery RecoverySummary
+	resumed  int
+
+	// metrics is the registry /metrics serves; log receives structured
+	// events; httpLat holds the per-route latency histograms.
+	metrics *obs.Registry
+	log     *slog.Logger
+	httpLat map[string]*obs.Histogram
 
 	// runCtx bounds in-process campaign execution; runCancel fires when the
 	// drain deadline passes during Close (journal-backed servers only).
@@ -229,18 +255,28 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		setup:   setup,
+		metrics: cfg.Metrics,
+		log:     cfg.Logger,
 		jobs:    make(map[string]*job),
 		queue:   make(chan *job, cfg.QueueDepth),
 		figures: make(map[string]*figEntry),
 	}
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
+	}
+	if s.log == nil {
+		s.log = slog.Default()
+	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	if st := cfg.Experiments.Store; st != nil {
-		s.journal = newJournal(st)
+		s.journal = newJournal(st, s.log)
 		// Replay the journal before the workers start: every non-terminal
 		// campaign re-enqueues under its original ID, and s.nextID advances
 		// past every journaled ID so fresh submissions never collide.
-		s.resumed = s.recoverJournal()
+		s.recovery = s.recoverJournal()
+		s.resumed = s.recovery.Resumed
 	}
+	s.initMetrics()
 	for i := 0; i < cfg.JobWorkers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -308,7 +344,14 @@ func (s *Server) worker() {
 			continue
 		}
 		j.setStatus(StatusRunning, "")
-		results, err := s.execute(j.plan, func(completed, total int) {
+		j.trace.Record(obs.Span{
+			Name: "queue_wait", StartUS: j.enqueued.UnixMicro(),
+			DurUS: time.Since(j.enqueued).Microseconds(),
+		})
+		s.log.Info("campaign started",
+			"campaign", j.id, "trace", j.trace.TraceID(), "sessions", j.total)
+		start := time.Now()
+		results, err := s.execute(j, func(completed, total int) {
 			s.journal.mark(j.id, int(j.completed.Add(1)), j.total)
 		})
 		if err != nil && errors.Is(err, context.Canceled) && s.journal != nil {
@@ -319,6 +362,8 @@ func (s *Server) worker() {
 			j.status = StatusQueued
 			j.completed.Store(0)
 			j.mu.Unlock()
+			s.log.Info("campaign returned to queue at drain deadline",
+				"campaign", j.id, "trace", j.trace.TraceID())
 			continue
 		}
 		j.mu.Lock()
@@ -327,9 +372,14 @@ func (s *Server) worker() {
 		if err != nil {
 			j.setStatus(StatusFailed, err.Error())
 			s.journal.state(j.id, StatusFailed, err.Error())
+			s.log.Warn("campaign failed",
+				"campaign", j.id, "trace", j.trace.TraceID(), "error", err)
 		} else {
 			j.setStatus(StatusDone, "")
 			s.journal.state(j.id, StatusDone, "")
+			s.log.Info("campaign done",
+				"campaign", j.id, "trace", j.trace.TraceID(),
+				"sessions", j.total, "elapsed", time.Since(start).Round(time.Millisecond))
 		}
 	}
 }
@@ -343,11 +393,21 @@ func (s *Server) worker() {
 // (the drain deadline); cluster dispatch is not — a coordinator killed
 // mid-campaign relies on the journal plus the workers' own stores, which is
 // the same guarantee with no cooperation needed from remote processes.
-func (s *Server) execute(plan *Plan, progress func(completed, total int)) ([]*engine.Result, error) {
+func (s *Server) execute(j *job, progress func(completed, total int)) ([]*engine.Result, error) {
+	plan := j.plan
 	if s.cfg.Cluster != nil {
-		return s.cfg.Cluster.Run(plan.Specs, progress)
+		// Background context plus the trace recorder: cluster dispatch stays
+		// non-cancelable (a killed coordinator relies on the journal), while
+		// the recorder collects dispatch/steal/spill and worker spans.
+		return s.cfg.Cluster.RunContext(obs.WithTrace(context.Background(), j.trace), plan.Specs, progress)
 	}
-	return s.setup.Runner.RunContext(s.runCtx, plan.Sessions, progress)
+	start := time.Now()
+	results, err := s.setup.Runner.RunContext(obs.WithTrace(s.runCtx, j.trace), plan.Sessions, progress)
+	j.trace.Record(obs.Span{
+		Name: "simulate", Worker: "local", Sessions: len(plan.Sessions),
+		StartUS: start.UnixMicro(), DurUS: time.Since(start).Microseconds(),
+	})
+	return results, err
 }
 
 // Submit validates and enqueues a campaign, returning its job status. In
@@ -365,11 +425,14 @@ func (s *Server) Submit(c Campaign) (JobStatus, error) {
 		return JobStatus{}, fmt.Errorf("server is shutting down")
 	}
 	s.nextID++
+	id := fmt.Sprintf("c%04d", s.nextID)
 	j := &job{
-		id:       fmt.Sprintf("c%04d", s.nextID),
+		id:       id,
 		campaign: c,
 		plan:     plan,
 		total:    len(plan.Meta),
+		trace:    obs.NewRecorder(obs.MintTraceID(id)),
+		enqueued: time.Now(),
 		status:   StatusQueued,
 	}
 	// The queue is buffered, so a non-blocking send under s.mu is safe —
@@ -483,27 +546,67 @@ func (s *Server) figureGen(name string) (func() (*experiments.Table, error), str
 //	POST /v1/campaigns              submit a campaign (JSON body), 202 + job id
 //	GET  /v1/campaigns/{id}         job status and progress
 //	GET  /v1/campaigns/{id}/results per-session results + aggregate tables
+//	GET  /v1/campaigns/{id}/trace   the campaign's span timeline
 //	GET  /v1/figures/{name}         one figure of the paper, computed on demand
 //	GET  /healthz                   liveness + shared-cache counters
+//	GET  /metrics                   Prometheus text exposition of the registry
 //
 // Coordinators (Config.Cluster set) additionally serve the membership API:
 //
 //	POST   /v1/cluster/workers        register a worker ({"addr": "host:port"})
 //	DELETE /v1/cluster/workers?addr=  deregister a worker
 //	GET    /v1/cluster/workers        list members with health state
+//
+// Every route is timed into the pes_http_request_duration_seconds histogram
+// under its route pattern.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
-	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/campaigns/{id}/results", s.handleResults)
-	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
+	handle := func(method, route string, h http.HandlerFunc) {
+		mux.Handle(method+" "+route, s.timed(route, h))
+	}
+	handle("POST", "/v1/campaigns", s.handleSubmit)
+	handle("GET", "/v1/campaigns/{id}", s.handleStatus)
+	handle("GET", "/v1/campaigns/{id}/results", s.handleResults)
+	handle("GET", "/v1/campaigns/{id}/trace", s.handleTrace)
+	handle("GET", "/v1/figures/{name}", s.handleFigure)
+	handle("GET", "/healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.timed("/metrics", s.metrics.Handler()))
 	if s.cfg.Cluster != nil {
-		mux.HandleFunc("POST /v1/cluster/workers", s.handleClusterRegister)
-		mux.HandleFunc("DELETE /v1/cluster/workers", s.handleClusterDeregister)
-		mux.HandleFunc("GET /v1/cluster/workers", s.handleClusterMembers)
+		handle("POST", "/v1/cluster/workers", s.handleClusterRegister)
+		handle("DELETE", "/v1/cluster/workers", s.handleClusterDeregister)
+		handle("GET", "/v1/cluster/workers", s.handleClusterMembers)
 	}
 	return mux
+}
+
+// TraceResponse is the body of GET /v1/campaigns/{id}/trace: the campaign's
+// span timeline in canonical order. Queryable at any point of the lifecycle
+// (an in-flight campaign reports the spans recorded so far); because the
+// trace ID is minted from the campaign ID, a journal-resumed campaign keeps
+// its trace identity across restarts.
+type TraceResponse struct {
+	ID      string     `json:"id"`
+	TraceID string     `json:"trace_id"`
+	Status  string     `json:"status"`
+	Spans   []obs.Span `json:"spans"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown campaign id"})
+		return
+	}
+	spans := j.trace.Timeline()
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{
+		ID:      j.id,
+		TraceID: j.trace.TraceID(),
+		Status:  j.snapshot().Status,
+		Spans:   spans,
+	})
 }
 
 // registerRequest is the body of POST /v1/cluster/workers.
